@@ -1,0 +1,329 @@
+// Benchmarks regenerating the paper's evaluation artifacts and timing the
+// system's building blocks.
+//
+// BenchmarkFigure5..14 run the exact sweep code behind each figure at the
+// Tiny smoke scale (30 s windows, trimmed sweeps); `go run ./cmd/sjoin-figures`
+// produces the full-fidelity data. BenchmarkTableI runs one Table-I default
+// configuration point. The remaining benchmarks cover the substrates
+// (extendible hashing, windowed stores, join probers, wire codec, workload
+// generators, DES kernel) and the ablations called out in DESIGN.md
+// (sub-group communication, θ sensitivity, ATR baseline).
+package streamjoin_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamjoin"
+	"streamjoin/internal/baseline/atr"
+	"streamjoin/internal/bmodel"
+	"streamjoin/internal/des"
+	"streamjoin/internal/exthash"
+	"streamjoin/internal/join"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/window"
+	"streamjoin/internal/wire"
+	"streamjoin/internal/workload"
+)
+
+// --- figure regeneration benchmarks (one per paper figure) ---
+
+func benchFigure(b *testing.B, id string) {
+	g, ok := streamjoin.FigureByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		opt := &streamjoin.ExperimentOptions{Scale: streamjoin.TinyScale, Seed: 1}
+		f, err := g.Gen(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", f.Table())
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchFigure(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkTableI runs one simulation at the paper's Table I defaults
+// (shrunk to the Tiny run length) and reports throughput metrics.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := streamjoin.DefaultConfig()
+		cfg.WindowMs = 30_000
+		cfg.DurationMs = 90_000
+		cfg.WarmupMs = 45_000
+		res, err := streamjoin.RunSimulation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Outputs), "outputs")
+		b.ReportMetric(res.MeanDelay().Seconds(), "delay-sec")
+	}
+}
+
+// --- ablation benchmarks ---
+
+// BenchmarkSubgroupBuffer sweeps the sub-group count ng and reports the
+// master's peak buffer against the §V-B closed form Mbuf = (r·td/2)(1+1/ng).
+func BenchmarkSubgroupBuffer(b *testing.B) {
+	for _, ng := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ng=%d", ng), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := streamjoin.DefaultConfig()
+				cfg.Slaves = 4
+				cfg.SubGroups = ng
+				cfg.Rate = 2000
+				cfg.WindowMs = 30_000
+				cfg.DurationMs = 60_000
+				cfg.WarmupMs = 30_000
+				res, err := streamjoin.RunSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				closed := cfg.Rate * float64(cfg.DistEpochMs) / 1000 / 2 *
+					(1 + 1/float64(ng)) * 2 * 64 // both streams, bytes
+				b.ReportMetric(float64(res.MasterPeakBufBytes), "peak-bytes")
+				b.ReportMetric(closed, "closed-form-bytes")
+			}
+		})
+	}
+}
+
+// BenchmarkThetaSensitivity sweeps the fine-tuning threshold θ and reports
+// per-slave CPU: too small a θ wastes time splitting, too large loses the
+// scan bound.
+func BenchmarkThetaSensitivity(b *testing.B) {
+	for _, theta := range []int64{64 << 10, 512 << 10, 1500 << 10, 6 << 20} {
+		b.Run(fmt.Sprintf("theta=%dKB", theta>>10), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := streamjoin.DefaultConfig()
+				cfg.Slaves = 2
+				cfg.Rate = 3000
+				cfg.Theta = theta
+				cfg.WindowMs = 60_000
+				cfg.DurationMs = 120_000
+				cfg.WarmupMs = 60_000
+				res, err := streamjoin.RunSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgSlaveCPU().Seconds(), "cpu-sec")
+				b.ReportMetric(float64(res.Splits+res.Merges), "tuning-ops")
+			}
+		})
+	}
+}
+
+// BenchmarkStaggeredSlots compares per-slave communication-time divergence
+// with and without the §VI-suggested staggered slot initiation.
+func BenchmarkStaggeredSlots(b *testing.B) {
+	for _, stagger := range []bool{false, true} {
+		name := "stampede"
+		if stagger {
+			name = "staggered"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := streamjoin.DefaultConfig()
+				cfg.Slaves = 4
+				cfg.Rate = 2500
+				cfg.StaggerSlots = stagger
+				cfg.WindowMs = 30_000
+				cfg.DurationMs = 90_000
+				cfg.WarmupMs = 45_000
+				res, err := streamjoin.RunSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := res.CommSummary()
+				b.ReportMetric(s.Max-s.Min, "comm-spread-sec")
+				b.ReportMetric(s.Mean(), "comm-avg-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkATRBaseline compares the Aligned Tuple Routing baseline (§VII)
+// against the partitioned system at the same workload: CPU concentration,
+// peak window memory, and routed tuple copies.
+func BenchmarkATRBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		acfg := atr.DefaultConfig()
+		acfg.Slaves = 3
+		acfg.Rate = 800
+		acfg.WindowMs = 20_000
+		acfg.SegmentMs = 60_000
+		acfg.DistEpochMs = 1000
+		acfg.DurationMs = 180_000
+		acfg.WarmupMs = 90_000
+		ares, err := atr.Run(acfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := streamjoin.DefaultConfig()
+		pcfg.Slaves = acfg.Slaves
+		pcfg.Rate = acfg.Rate
+		pcfg.WindowMs = acfg.WindowMs
+		pcfg.DistEpochMs = acfg.DistEpochMs
+		pcfg.ReorgEpochMs = acfg.DistEpochMs * 10
+		pcfg.DurationMs = acfg.DurationMs
+		pcfg.WarmupMs = acfg.WarmupMs
+		pres, err := streamjoin.RunSimulation(pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ares.CPUShareMax, "atr-cpu-share-max")
+		b.ReportMetric(float64(ares.MaxWindowBytes)/float64(pres.MaxWindowBytes()), "atr-mem-concentration-x")
+		b.ReportMetric(float64(ares.DuplicatedTuples), "atr-dup-tuples")
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkJoinRoundIndexed(b *testing.B) { benchJoinRound(b, join.ModeIndexed) }
+func BenchmarkJoinRoundScan(b *testing.B)    { benchJoinRound(b, join.ModeScan) }
+
+func benchJoinRound(b *testing.B, mode join.Mode) {
+	cfg := join.Config{WindowMs: 60_000, Theta: 96 << 10, FineTune: true, Mode: mode}
+	m := join.New(cfg)
+	r := rand.New(rand.NewSource(1))
+	now := int32(0)
+	mkBatch := func(n int) []tuple.Tuple {
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{
+				Stream: tuple.StreamID(r.Intn(2)),
+				Key:    r.Int31n(100_000),
+				TS:     now,
+			}
+		}
+		return out
+	}
+	// Pre-fill the window.
+	for i := 0; i < 50; i++ {
+		now += 100
+		m.Process(0, now, mkBatch(500))
+	}
+	b.ResetTimer()
+	outputs := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 100
+		res := m.Process(0, now, mkBatch(500))
+		outputs += res.Outputs
+	}
+	b.ReportMetric(float64(outputs)/float64(b.N), "outputs/round")
+}
+
+func BenchmarkExtendibleHashSplit(b *testing.B) {
+	type bucket struct{ n int }
+	for i := 0; i < b.N; i++ {
+		d := exthash.New(&bucket{})
+		d.SetMaxDepth(12)
+		for h := uint64(0); h < 1<<10; h++ {
+			d.Split(h*0x9e3779b97f4a7c15, func(old *bucket, bit uint) (*bucket, *bucket) {
+				return &bucket{n: old.n / 2}, &bucket{n: old.n / 2}
+			})
+		}
+	}
+}
+
+func BenchmarkWindowAppendExpire(b *testing.B) {
+	s := window.NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := int32(i)
+		s.Append(tuple.Packed{Key: int32(i), TS: ts})
+		if i%1024 == 0 {
+			s.ExpireExact(ts-60_000, nil)
+		}
+	}
+}
+
+func BenchmarkWireMarshalBatch(b *testing.B) {
+	batch := &wire.Batch{Epoch: 7, Tuples: make([]tuple.Tuple, 1000)}
+	for i := range batch.Tuples {
+		batch.Tuples[i] = tuple.Tuple{Stream: tuple.S1, Key: int32(i), TS: int32(i)}
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(wire.Marshal(batch))
+	}
+	b.SetBytes(int64(n))
+}
+
+func BenchmarkWireUnmarshalBatch(b *testing.B) {
+	batch := &wire.Batch{Epoch: 7, Tuples: make([]tuple.Tuple, 1000)}
+	for i := range batch.Tuples {
+		batch.Tuples[i] = tuple.Tuple{Stream: tuple.S2, Key: int32(i), TS: int32(i)}
+	}
+	buf := wire.Marshal(batch)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBModelNext(b *testing.B) {
+	g := bmodel.New(0.7, 10_000_000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkPoissonBatch(b *testing.B) {
+	s := workload.NewSource(tuple.S1, workload.Config{
+		Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
+	})
+	b.ResetTimer()
+	from := int32(0)
+	for i := 0; i < b.N; i++ {
+		s.Batch(from, from+2000)
+		from += 2000
+	}
+}
+
+// BenchmarkDESPingPong measures kernel event throughput via two processes
+// exchanging rendezvous messages.
+func BenchmarkDESPingPong(b *testing.B) {
+	env := des.NewEnv()
+	q1 := des.NewQueue[int](env)
+	q2 := des.NewQueue[int](env)
+	n := b.N
+	env.Spawn("ping", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			q1.Put(i)
+			q2.Get(p)
+		}
+	})
+	env.Spawn("pong", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			q1.Get(p)
+			p.Sleep(time.Microsecond)
+			q2.Put(i)
+		}
+	})
+	b.ResetTimer()
+	if _, err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	env.Kill()
+}

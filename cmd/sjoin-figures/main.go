@@ -1,0 +1,89 @@
+// Command sjoin-figures regenerates the data behind every figure of the
+// paper's evaluation section (Figures 5-14) plus Table I, printing each as a
+// plain-text data table and optionally writing per-figure files.
+//
+// Usage:
+//
+//	sjoin-figures                 # all figures, full fidelity
+//	sjoin-figures -quick          # shrunken runs (fast, same shapes)
+//	sjoin-figures -fig fig7       # a single figure
+//	sjoin-figures -out data/      # also write data/<fig>.txt files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streamjoin"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate (fig5..fig14, table1, all)")
+		quick = flag.Bool("quick", false, "quick scale: shorter windows and runs")
+		out   = flag.String("out", "", "directory to write per-figure data files")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		quiet = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	opt := &streamjoin.ExperimentOptions{Scale: streamjoin.FullScale, Seed: *seed}
+	if *quick {
+		opt.Scale = streamjoin.QuickScale
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	emit := func(name, body string) {
+		fmt.Println(body)
+		if *out != "" {
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if *fig == "table1" || *fig == "all" {
+		emit("table1", streamjoin.TableI())
+		if *fig == "table1" {
+			return
+		}
+	}
+
+	gens := streamjoin.Figures()
+	if *fig != "all" {
+		g, ok := streamjoin.FigureByID(*fig)
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
+		gens = []streamjoin.FigureGenerator{g}
+	}
+
+	for _, g := range gens {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s: %s (%s scale)\n", g.ID, g.Title, opt.Scale)
+		f, err := g.Gen(opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", g.ID, err))
+		}
+		fmt.Fprintf(os.Stderr, "== %s done in %v\n", g.ID, time.Since(start).Round(time.Millisecond))
+		emit(g.ID, f.Table())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sjoin-figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command sjoin-sim runs one configuration of the parallel windowed stream
+// join on the deterministic simulated cluster and prints a metrics report.
+//
+//	sjoin-sim -slaves 4 -rate 3000
+//	sjoin-sim -slaves 4 -rate 4000 -finetune=false
+//	sjoin-sim -slaves 5 -adaptive -active 1 -rate 6000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamjoin/internal/cliflags"
+	"streamjoin/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sjoin-sim", flag.ExitOnError)
+	getConfig := cliflags.Bind(fs)
+	live := fs.Bool("live", false, "run on the live (wall-clock) engine instead of the simulator")
+	fs.Parse(os.Args[1:])
+	cfg := getConfig()
+
+	var (
+		res *core.Result
+		err error
+	)
+	if *live {
+		res, err = core.RunLive(cfg)
+	} else {
+		res, err = core.RunSim(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sjoin-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("measured interval:      %v (after %v warm-up)\n",
+		time.Duration(res.MeasuredMs)*time.Millisecond,
+		time.Duration(cfg.WarmupMs)*time.Millisecond)
+	fmt.Printf("output tuples:          %d\n", res.Outputs)
+	fmt.Printf("average delay:          %v\n", res.MeanDelay())
+	fmt.Printf("p50 / p99 delay:        %v / %v\n",
+		res.Delay.ApproxQuantile(0.5), res.Delay.ApproxQuantile(0.99))
+	fmt.Printf("epochs served:          %d\n", res.EpochsServed)
+	fmt.Printf("group movements:        %d issued, %d completed\n", res.MovesIssued, res.MovesCompleted)
+	fmt.Printf("fine-tuning:            %d splits, %d merges\n", res.Splits, res.Merges)
+	fmt.Printf("master peak buffer:     %d KB\n", res.MasterPeakBufBytes>>10)
+	fmt.Printf("active slaves at end:   %d of %d\n", res.ActiveEnd, cfg.Slaves)
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s %12s %14s %10s\n", "slave", "cpu", "idle", "comm", "window(KB)", "active")
+	for i, s := range res.Slaves {
+		fmt.Printf("%-8d %12v %12v %12v %14d %10v\n",
+			i, s.CPU.Round(time.Millisecond), s.Idle.Round(time.Millisecond),
+			s.Comm.Round(time.Millisecond), res.SlaveWindowBytes[i]>>10, res.SlaveActive[i])
+	}
+	if len(res.DoDTrace) > 0 && cfg.Adaptive {
+		fmt.Println("\ndegree of declustering over time:")
+		for _, d := range res.DoDTrace {
+			fmt.Printf("  %6ds %d\n", d.AtMs/1000, d.Active)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command sjoin-slave hosts one slave node of a TCP cluster deployment. Run
+// one per slave ID with the same system flags as the master; -mesh lists
+// every slave's mesh address in ID order (used for direct partition-group
+// state movement).
+//
+//	sjoin-slave -id 0 -ctl localhost:7400 -results localhost:7401 \
+//	    -mesh localhost:7410,localhost:7411 -slaves 2 -window 5s -td 250ms ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamjoin/internal/cliflags"
+	"streamjoin/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sjoin-slave", flag.ExitOnError)
+	getConfig := cliflags.Bind(fs)
+	id := fs.Int("id", 0, "slave ID (0-based)")
+	ctl := fs.String("ctl", "localhost:7400", "master control address")
+	res := fs.String("results", "localhost:7401", "master results (collector) address")
+	mesh := fs.String("mesh", "", "comma-separated slave mesh addresses in ID order")
+	fs.Parse(os.Args[1:])
+	cfg := getConfig()
+
+	var meshAddrs []string
+	if *mesh != "" {
+		meshAddrs = strings.Split(*mesh, ",")
+	}
+	fmt.Printf("sjoin-slave %d: joining master at %s\n", *id, *ctl)
+	if err := core.ServeSlaveTCP(cfg, *id, *ctl, *res, meshAddrs); err != nil {
+		fmt.Fprintln(os.Stderr, "sjoin-slave:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sjoin-slave %d: shut down cleanly\n", *id)
+}

@@ -1,0 +1,45 @@
+// Adaptive degree-of-declustering demo (§V-A): the workload swings from
+// light to heavy and back; the master grows the set of active slaves when
+// suppliers outnumber β·consumers and shrinks it when nobody is overloaded,
+// so idle machines are released back to the (non-dedicated) cluster.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"streamjoin"
+)
+
+func main() {
+	cfg := streamjoin.DefaultConfig()
+	cfg.Slaves = 5
+	cfg.InitialActive = 1
+	cfg.Adaptive = true
+	cfg.FineTune = false // make CPU demand grow quickly with rate
+	cfg.Rate = 400
+	cfg.RateSchedule = []streamjoin.RateStep{
+		{AtMs: 120_000, Rate: 6_000}, // burst
+		{AtMs: 300_000, Rate: 400},   // calm again
+	}
+	cfg.WindowMs = 30_000
+	cfg.DurationMs = 480_000
+	cfg.WarmupMs = 30_000
+
+	fmt.Println("adaptive declustering over a load swing (400 -> 6000 -> 400 t/s):")
+	res, err := streamjoin.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n  time    active slaves")
+	for _, s := range res.DoDTrace {
+		fmt.Printf("  %4ds    %d %s\n", s.AtMs/1000, s.Active, strings.Repeat("#", s.Active))
+	}
+	fmt.Printf("\nmovements completed: %d, active at end: %d of %d\n",
+		res.MovesCompleted, res.ActiveEnd, cfg.Slaves)
+	fmt.Printf("outputs: %d, mean delay: %v\n", res.Outputs, res.MeanDelay().Round(1e6))
+}

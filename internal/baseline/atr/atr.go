@@ -1,0 +1,245 @@
+// Package atr implements a two-way Aligned Tuple Routing baseline (Gu, Yu
+// and Wang, "Adaptive load diffusion for multiway windowed stream joins",
+// ICDE 2007), the alternative intra-operator scheme the paper's related-work
+// section argues against (§VII).
+//
+// ATR routes by time segments instead of by key: time is divided into
+// segments of length L ≫ W; during segment k one node owns the whole join.
+// Every master-stream (S1) tuple of the segment goes to the owner; a
+// slave-stream (S2) tuple arriving at t must reach every node owning a
+// segment that overlaps [t, t+W] — near a segment boundary it is duplicated
+// to the next owner so the join stays complete.
+//
+// The simulation reproduces the two drawbacks the paper names: the join
+// load and the window state circulate (one node carries everything during a
+// segment, so memory concentrates), and the boundary duplication inflates
+// network traffic.
+package atr
+
+import (
+	"fmt"
+	"time"
+
+	"streamjoin/internal/des"
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
+	"streamjoin/internal/simnet"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+	"streamjoin/internal/workload"
+)
+
+// Config parameterizes an ATR run. The workload and cluster parameters
+// mirror core.Config so results are directly comparable.
+type Config struct {
+	Slaves      int
+	SegmentMs   int32 // segment length L (must exceed WindowMs)
+	WindowMs    int32
+	DistEpochMs int32
+	Rate        float64
+	Skew        float64
+	Domain      int32
+	Seed        uint64
+	DurationMs  int32
+	WarmupMs    int32
+	Net         simnet.Params
+	// TupleCompare and friends price the slave inner loop like
+	// core.CostModel; only the scan term matters for the comparison.
+	TupleCompare time.Duration
+	TupleIngest  time.Duration
+	TupleExpire  time.Duration
+}
+
+// DefaultConfig mirrors the partitioned system's Table I defaults.
+func DefaultConfig() Config {
+	return Config{
+		Slaves:       4,
+		SegmentMs:    3 * 60 * 1000, // L = 3·W per Gu et al.'s L >> W guidance, scaled to the run
+		WindowMs:     60 * 1000,
+		DistEpochMs:  2000,
+		Rate:         1500,
+		Skew:         0.7,
+		Domain:       10_000_000,
+		Seed:         1,
+		DurationMs:   20 * 60 * 1000,
+		WarmupMs:     10 * 60 * 1000,
+		Net:          simnet.DefaultParams(),
+		TupleCompare: 7 * time.Nanosecond,
+		TupleIngest:  150 * time.Nanosecond,
+		TupleExpire:  25 * time.Nanosecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Slaves < 1:
+		return fmt.Errorf("atr: Slaves = %d", c.Slaves)
+	case c.SegmentMs <= c.WindowMs:
+		return fmt.Errorf("atr: segment %dms must exceed window %dms (L >> W)", c.SegmentMs, c.WindowMs)
+	case c.DistEpochMs <= 0 || c.DurationMs <= 0 || c.WarmupMs < 0 || c.WarmupMs >= c.DurationMs:
+		return fmt.Errorf("atr: bad epochs/run interval")
+	case c.Rate <= 0 || c.Domain <= 0 || c.Skew < 0.5 || c.Skew >= 1:
+		return fmt.Errorf("atr: bad workload")
+	}
+	return nil
+}
+
+// Result reports the metrics compared against the partitioned system.
+type Result struct {
+	Config Config
+	// Delay aggregates output production delays (measurement interval).
+	Delay metrics.DelayStats
+	// SlaveStats is per-node usage over the measurement interval.
+	SlaveStats []engine.Stats
+	// MaxWindowBytes is the largest window state any node held at any
+	// epoch boundary (memory concentration).
+	MaxWindowBytes int64
+	// DuplicatedTuples counts S2 tuples routed to two owners.
+	DuplicatedTuples int64
+	// RoutedTuples counts all routed tuple copies.
+	RoutedTuples int64
+	// CPUShareMax is the largest fraction of measured CPU time consumed by
+	// a single node (1/Slaves = perfectly balanced, 1 = fully circulating).
+	CPUShareMax float64
+}
+
+// MeanDelay is the average production delay.
+func (r *Result) MeanDelay() time.Duration { return r.Delay.Mean() }
+
+// Run executes the ATR baseline on the simulated cluster.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := des.NewEnv()
+	net := simnet.New(env, cfg.Net)
+	masterNd := net.NewNode("atr-master")
+	slaveNds := make([]*simnet.Node, cfg.Slaves)
+	slaveEps := make([]*simnet.Endpoint, cfg.Slaves)
+	masterEps := make([]*simnet.Endpoint, cfg.Slaves)
+	for i := range slaveNds {
+		slaveNds[i] = net.NewNode(fmt.Sprintf("atr-slave%d", i))
+		masterEps[i], slaveEps[i] = simnet.Connect(masterNd, slaveNds[i])
+	}
+
+	s1, s2 := workload.Pair(workload.Config{
+		Rate: cfg.Rate, Skew: cfg.Skew, Domain: cfg.Domain, Seed: cfg.Seed,
+	})
+
+	res := &Result{Config: cfg, SlaveStats: make([]engine.Stats, cfg.Slaves)}
+	ownerOf := func(ms int32) int32 { return int32(ms/cfg.SegmentMs) % int32(cfg.Slaves) }
+
+	// Master: per epoch, route the arrivals. S1 to the owner of its
+	// timestamp; S2 to the owner plus (near a boundary) the next owner.
+	masterNd.Start(func(nd *simnet.Node) {
+		td := time.Duration(cfg.DistEpochMs) * time.Millisecond
+		lastMs := int32(0)
+		for e := int64(0); ; e++ {
+			nd.IdleUntil(time.Duration(e) * td)
+			nowMs := int32(nd.Now() / time.Millisecond)
+			if nowMs <= lastMs {
+				continue
+			}
+			batches := make([][]tuple.Tuple, cfg.Slaves)
+			route := func(t tuple.Tuple, to int32) {
+				batches[to] = append(batches[to], t)
+				res.RoutedTuples++
+			}
+			for _, t := range workload.Merge(s1.Batch(lastMs, nowMs), s2.Batch(lastMs, nowMs)) {
+				own := ownerOf(t.TS)
+				route(t, own)
+				if t.Stream == tuple.S2 {
+					// An S2 tuple must also reach the owner of
+					// [t, t+W] when that interval crosses into the
+					// next segment.
+					if ownerOf(t.TS+cfg.WindowMs) != own {
+						route(t, ownerOf(t.TS+cfg.WindowMs))
+						res.DuplicatedTuples++
+					}
+				}
+			}
+			lastMs = nowMs
+			for i := range batches {
+				// The fixed pattern serves every node each epoch,
+				// like the partitioned master.
+				masterEps[i].Send(simnet.Message{
+					Payload: &wire.Batch{Epoch: e, Tuples: batches[i]},
+					Size:    int64(len(batches[i]))*tuple.LogicalSize + 40,
+				})
+			}
+		}
+	})
+
+	// Slaves: ingest and join everything they receive in one monolithic
+	// group (ATR does not partition by key).
+	joinCfg := join.Config{
+		WindowMs: cfg.WindowMs,
+		Theta:    1, // unused
+		FineTune: false,
+		Mode:     join.ModeIndexed,
+		Expiry:   join.ExpiryExact,
+	}
+	for i := range slaveNds {
+		i := i
+		slaveNds[i].Start(func(nd *simnet.Node) {
+			mod := join.New(joinCfg)
+			for {
+				msg := slaveEps[i].Recv()
+				batch := msg.Payload.(*wire.Batch)
+				nowMs := int32(nd.Now() / time.Millisecond)
+				r := mod.Process(0, nowMs, batch.Tuples)
+				cpu := time.Duration(r.Scanned)*cfg.TupleCompare +
+					time.Duration(r.Ingested)*cfg.TupleIngest +
+					time.Duration(r.Expired)*cfg.TupleExpire
+				nd.Compute(cpu)
+				if nowMs >= cfg.WarmupMs {
+					doneMs := int32(nd.Now() / time.Millisecond)
+					for _, m := range r.Matches {
+						d := doneMs - m.TS
+						if d < 0 {
+							d = 0
+						}
+						res.Delay.Add(d, m.N)
+					}
+					if wb := mod.WindowBytes(); wb > res.MaxWindowBytes {
+						res.MaxWindowBytes = wb
+					}
+				}
+			}
+		})
+	}
+
+	// Warm-up snapshots.
+	warm := make([]engine.Stats, cfg.Slaves)
+	monitor := net.NewNode("monitor")
+	monitor.Start(func(nd *simnet.Node) {
+		nd.IdleUntil(time.Duration(cfg.WarmupMs) * time.Millisecond)
+		for i, snd := range slaveNds {
+			warm[i] = engine.WrapNode(snd).Stats()
+		}
+	})
+
+	horizon := des.Time(cfg.DurationMs) * des.Time(time.Millisecond)
+	if _, err := env.RunUntil(horizon); err != nil {
+		env.Kill()
+		return nil, err
+	}
+	env.Kill()
+
+	var totalCPU time.Duration
+	var maxCPU time.Duration
+	for i, snd := range slaveNds {
+		res.SlaveStats[i] = engine.WrapNode(snd).Stats().Sub(warm[i])
+		cpu := res.SlaveStats[i].CPU
+		totalCPU += cpu
+		if cpu > maxCPU {
+			maxCPU = cpu
+		}
+	}
+	if totalCPU > 0 {
+		res.CPUShareMax = float64(maxCPU) / float64(totalCPU)
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package atr
+
+import (
+	"testing"
+
+	"streamjoin/internal/core"
+)
+
+// smallConfig keeps ATR tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Slaves = 3
+	cfg.WindowMs = 20_000
+	cfg.SegmentMs = 60_000
+	cfg.DistEpochMs = 1000
+	cfg.Rate = 600
+	cfg.Domain = 200_000
+	cfg.DurationMs = 240_000
+	cfg.WarmupMs = 120_000
+	return cfg
+}
+
+func TestATRProducesOutputs(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay.Count == 0 {
+		t.Fatal("no outputs")
+	}
+	if res.MeanDelay() <= 0 {
+		t.Fatal("no delay measured")
+	}
+}
+
+func TestATRDuplicatesBoundaryTuples(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatedTuples == 0 {
+		t.Fatal("no boundary duplication observed")
+	}
+	// Expected duplication fraction of S2 ≈ W/L.
+	cfg := res.Config
+	expect := float64(cfg.WindowMs) / float64(cfg.SegmentMs)
+	s2 := float64(res.RoutedTuples-res.DuplicatedTuples) / 2 // per stream
+	frac := float64(res.DuplicatedTuples) / s2
+	if frac < expect/2 || frac > expect*2 {
+		t.Fatalf("duplication fraction %.3f, expected ≈ %.3f", frac, expect)
+	}
+}
+
+func TestATRCirculatesLoad(t *testing.T) {
+	// During any one segment a single node does all the work; over a run
+	// the CPU share of the busiest node stays far above the balanced
+	// 1/Slaves share of the partitioned system.
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUShareMax < 0.34 {
+		t.Fatalf("CPU share max = %.2f; ATR should concentrate load", res.CPUShareMax)
+	}
+}
+
+func TestATRConcentratesMemoryVsPartitioned(t *testing.T) {
+	// The paper's §VII argument: ATR stores entire stream windows on one
+	// node, while hash partitioning spreads them. Compare max per-node
+	// window bytes at identical workload.
+	acfg := smallConfig()
+	ares, err := Run(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := core.DefaultConfig()
+	pcfg.Slaves = acfg.Slaves
+	pcfg.Rate = acfg.Rate
+	pcfg.WindowMs = acfg.WindowMs
+	pcfg.DistEpochMs = acfg.DistEpochMs
+	pcfg.ReorgEpochMs = 10 * acfg.DistEpochMs
+	pcfg.Domain = acfg.Domain
+	pcfg.DurationMs = acfg.DurationMs
+	pcfg.WarmupMs = acfg.WarmupMs
+	pres, err := core.RunSim(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.MaxWindowBytes < 2*pres.MaxWindowBytes() {
+		t.Fatalf("ATR max window %d not clearly above partitioned %d",
+			ares.MaxWindowBytes, pres.MaxWindowBytes())
+	}
+}
+
+func TestATRValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SegmentMs = cfg.WindowMs // violates L >> W
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("segment <= window accepted")
+	}
+	cfg = smallConfig()
+	cfg.Slaves = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero slaves accepted")
+	}
+}
+
+func TestATRDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delay.Count != b.Delay.Count || a.RoutedTuples != b.RoutedTuples {
+		t.Fatal("ATR run not deterministic")
+	}
+}

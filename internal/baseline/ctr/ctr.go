@@ -1,0 +1,255 @@
+// Package ctr implements a two-way Coordinated Tuple Routing baseline (Gu,
+// Yu and Wang, ICDE 2007), the second alternative the paper's related work
+// discusses (§VII). CTR spreads each stream's window over a set of nodes
+// (a routing hop) and forwards every incoming tuple, in cascading fashion,
+// to each node of the opposite stream's hop so it can probe the whole
+// distributed window.
+//
+// The paper's critique, which this simulation reproduces: the join load
+// balances well (every node holds a share of both windows), but each tuple
+// is replicated to every node of the opposite hop, so network traffic grows
+// linearly with the hop width — against the partitioned approach's single
+// copy per tuple.
+package ctr
+
+import (
+	"fmt"
+	"time"
+
+	"streamjoin/internal/des"
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
+	"streamjoin/internal/simnet"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+	"streamjoin/internal/workload"
+)
+
+// Config parameterizes a CTR run; workload fields mirror core.Config.
+type Config struct {
+	Slaves       int
+	WindowMs     int32
+	DistEpochMs  int32
+	Rate         float64
+	Skew         float64
+	Domain       int32
+	Seed         uint64
+	DurationMs   int32
+	WarmupMs     int32
+	Net          simnet.Params
+	TupleCompare time.Duration
+	TupleIngest  time.Duration
+	TupleExpire  time.Duration
+}
+
+// DefaultConfig mirrors the partitioned system's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Slaves:       4,
+		WindowMs:     60 * 1000,
+		DistEpochMs:  2000,
+		Rate:         1500,
+		Skew:         0.7,
+		Domain:       10_000_000,
+		Seed:         1,
+		DurationMs:   20 * 60 * 1000,
+		WarmupMs:     10 * 60 * 1000,
+		Net:          simnet.DefaultParams(),
+		TupleCompare: 12 * time.Nanosecond,
+		TupleIngest:  150 * time.Nanosecond,
+		TupleExpire:  25 * time.Nanosecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Slaves < 1:
+		return fmt.Errorf("ctr: Slaves = %d", c.Slaves)
+	case c.WindowMs <= 0 || c.DistEpochMs <= 0:
+		return fmt.Errorf("ctr: bad window/epoch")
+	case c.DurationMs <= 0 || c.WarmupMs < 0 || c.WarmupMs >= c.DurationMs:
+		return fmt.Errorf("ctr: bad run interval")
+	case c.Rate <= 0 || c.Domain <= 0 || c.Skew < 0.5 || c.Skew >= 1:
+		return fmt.Errorf("ctr: bad workload")
+	}
+	return nil
+}
+
+// Result reports the comparison metrics.
+type Result struct {
+	Config Config
+	Delay  metrics.DelayStats
+	// SlaveStats is per-node usage over the measurement interval.
+	SlaveStats []engine.Stats
+	// RoutedTuples counts tuple copies shipped (each tuple is stored once
+	// and probes every node of the opposite hop).
+	RoutedTuples int64
+	// SourceTuples counts distinct tuples generated.
+	SourceTuples int64
+	// CPUShareMax is the busiest node's share of total CPU.
+	CPUShareMax float64
+}
+
+// MeanDelay is the average production delay.
+func (r *Result) MeanDelay() time.Duration { return r.Delay.Mean() }
+
+// ReplicationFactor is routed copies per source tuple.
+func (r *Result) ReplicationFactor() float64 {
+	if r.SourceTuples == 0 {
+		return 0
+	}
+	return float64(r.RoutedTuples) / float64(r.SourceTuples)
+}
+
+// probeBatch tags a batch that only probes (the tuples are stored at their
+// home node, not here).
+type probeBatch struct {
+	batch *wire.Batch
+	store bool
+}
+
+// Run executes the CTR baseline: each stream's window is spread round-robin
+// over all nodes (one hop covering the cluster); every tuple is stored at
+// its home node and forwarded to all others as a probe-only copy.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := des.NewEnv()
+	net := simnet.New(env, cfg.Net)
+	masterNd := net.NewNode("ctr-master")
+	slaveNds := make([]*simnet.Node, cfg.Slaves)
+	mEps := make([]*simnet.Endpoint, cfg.Slaves)
+	sEps := make([]*simnet.Endpoint, cfg.Slaves)
+	for i := range slaveNds {
+		slaveNds[i] = net.NewNode(fmt.Sprintf("ctr-slave%d", i))
+		mEps[i], sEps[i] = simnet.Connect(masterNd, slaveNds[i])
+	}
+
+	s1, s2 := workload.Pair(workload.Config{
+		Rate: cfg.Rate, Skew: cfg.Skew, Domain: cfg.Domain, Seed: cfg.Seed,
+	})
+	res := &Result{Config: cfg, SlaveStats: make([]engine.Stats, cfg.Slaves)}
+
+	masterNd.Start(func(nd *simnet.Node) {
+		td := time.Duration(cfg.DistEpochMs) * time.Millisecond
+		lastMs := int32(0)
+		seq := int64(0)
+		for e := int64(0); ; e++ {
+			nd.IdleUntil(time.Duration(e) * td)
+			nowMs := int32(nd.Now() / time.Millisecond)
+			if nowMs <= lastMs {
+				continue
+			}
+			arrivals := workload.Merge(s1.Batch(lastMs, nowMs), s2.Batch(lastMs, nowMs))
+			lastMs = nowMs
+			res.SourceTuples += int64(len(arrivals))
+			stores := make([][]tuple.Tuple, cfg.Slaves)
+			probes := make([][]tuple.Tuple, cfg.Slaves)
+			for _, t := range arrivals {
+				home := int(seq % int64(cfg.Slaves))
+				seq++
+				stores[home] = append(stores[home], t)
+				res.RoutedTuples++
+				// Cascade the tuple through the opposite hop: every
+				// other node probes it against its window share.
+				for n := 0; n < cfg.Slaves; n++ {
+					if n != home {
+						probes[n] = append(probes[n], t)
+						res.RoutedTuples++
+					}
+				}
+			}
+			for i := range mEps {
+				// Two sub-batches per epoch: stored copies, then
+				// probe-only copies.
+				mEps[i].Send(simnet.Message{
+					Payload: &probeBatch{batch: &wire.Batch{Epoch: e, Tuples: stores[i]}, store: true},
+					Size:    int64(len(stores[i]))*tuple.LogicalSize + 40,
+				})
+				mEps[i].Send(simnet.Message{
+					Payload: &probeBatch{batch: &wire.Batch{Epoch: e, Tuples: probes[i]}, store: false},
+					Size:    int64(len(probes[i]))*tuple.LogicalSize + 40,
+				})
+			}
+		}
+	})
+
+	joinCfg := join.Config{
+		WindowMs: cfg.WindowMs,
+		Theta:    1,
+		FineTune: false,
+		Mode:     join.ModeIndexed,
+		Expiry:   join.ExpiryExact,
+	}
+	for i := range slaveNds {
+		i := i
+		slaveNds[i].Start(func(nd *simnet.Node) {
+			mod := join.New(joinCfg)
+			for {
+				msg := sEps[i].Recv()
+				pb := msg.Payload.(*probeBatch)
+				nowMs := int32(nd.Now() / time.Millisecond)
+				var outs int64
+				var scanned int64
+				var matches []join.Match
+				if pb.store {
+					r := mod.Process(0, nowMs, pb.batch.Tuples)
+					outs, scanned, matches = r.Outputs, r.Scanned, r.Matches
+					nd.Compute(time.Duration(r.Ingested)*cfg.TupleIngest +
+						time.Duration(r.Expired)*cfg.TupleExpire +
+						time.Duration(scanned)*cfg.TupleCompare)
+				} else {
+					// Probe-only: count matches against the local
+					// window without ingesting.
+					g := mod.Ensure(0)
+					r := g.ProbeOnly(pb.batch.Tuples)
+					outs, scanned, matches = r.Outputs, r.Scanned, r.Matches
+					nd.Compute(time.Duration(scanned) * cfg.TupleCompare)
+				}
+				if nowMs >= cfg.WarmupMs && outs > 0 {
+					doneMs := int32(nd.Now() / time.Millisecond)
+					for _, m := range matches {
+						d := doneMs - m.TS
+						if d < 0 {
+							d = 0
+						}
+						res.Delay.Add(d, m.N)
+					}
+				}
+			}
+		})
+	}
+
+	warm := make([]engine.Stats, cfg.Slaves)
+	monitor := net.NewNode("monitor")
+	monitor.Start(func(nd *simnet.Node) {
+		nd.IdleUntil(time.Duration(cfg.WarmupMs) * time.Millisecond)
+		for i, snd := range slaveNds {
+			warm[i] = engine.WrapNode(snd).Stats()
+		}
+	})
+
+	horizon := des.Time(cfg.DurationMs) * des.Time(time.Millisecond)
+	if _, err := env.RunUntil(horizon); err != nil {
+		env.Kill()
+		return nil, err
+	}
+	env.Kill()
+
+	var total, max time.Duration
+	for i, snd := range slaveNds {
+		res.SlaveStats[i] = engine.WrapNode(snd).Stats().Sub(warm[i])
+		cpu := res.SlaveStats[i].CPU
+		total += cpu
+		if cpu > max {
+			max = cpu
+		}
+	}
+	if total > 0 {
+		res.CPUShareMax = float64(max) / float64(total)
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package ctr
+
+import (
+	"testing"
+
+	"streamjoin/internal/baseline/atr"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Slaves = 4
+	cfg.WindowMs = 20_000
+	cfg.DistEpochMs = 1000
+	cfg.Rate = 600
+	cfg.Domain = 200_000
+	cfg.DurationMs = 240_000
+	cfg.WarmupMs = 120_000
+	return cfg
+}
+
+func TestCTRProducesOutputs(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay.Count == 0 {
+		t.Fatal("no outputs")
+	}
+}
+
+func TestCTRReplicatesToEveryHopNode(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple is stored once and probed at the other N-1 nodes.
+	want := float64(res.Config.Slaves)
+	got := res.ReplicationFactor()
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("replication factor %.2f, want ≈ %.0f", got, want)
+	}
+}
+
+func TestCTRBalancesLoadUnlikeATR(t *testing.T) {
+	// The §VII trade-off in one test: CTR spreads CPU almost evenly while
+	// ATR circulates it, but CTR pays with replicated network traffic.
+	ccfg := smallConfig()
+	cres, err := Run(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := atr.DefaultConfig()
+	acfg.Slaves = ccfg.Slaves
+	acfg.WindowMs = ccfg.WindowMs
+	acfg.SegmentMs = 3 * ccfg.WindowMs
+	acfg.DistEpochMs = ccfg.DistEpochMs
+	acfg.Rate = ccfg.Rate
+	acfg.Domain = ccfg.Domain
+	acfg.DurationMs = ccfg.DurationMs
+	acfg.WarmupMs = ccfg.WarmupMs
+	ares, err := atr.Run(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced := 1.0 / float64(ccfg.Slaves)
+	if cres.CPUShareMax > balanced*1.5 {
+		t.Fatalf("CTR CPU share max %.2f, want ≈ %.2f (balanced)", cres.CPUShareMax, balanced)
+	}
+	if ares.CPUShareMax < cres.CPUShareMax {
+		t.Fatalf("ATR (%.2f) should concentrate more than CTR (%.2f)",
+			ares.CPUShareMax, cres.CPUShareMax)
+	}
+	if cres.ReplicationFactor() < 2 {
+		t.Fatalf("CTR replication %.2f should far exceed 1 copy/tuple", cres.ReplicationFactor())
+	}
+}
+
+func TestCTRValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Slaves = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestCTRDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delay.Count != b.Delay.Count || a.RoutedTuples != b.RoutedTuples {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,75 @@
+// Package bmodel generates join-attribute values following the b-model of
+// Wang, Ailamaki and Faloutsos ("Capturing the spatio-temporal behavior of
+// real traffic data"), the skew model the paper uses for its synthetic
+// streams. The b-model is the self-similar generalization of the database
+// "80/20 law": at every recursive halving of the value domain, a fraction b
+// of the probability mass falls into one half and 1−b into the other.
+//
+// A draw descends the halving tree: at each level it picks the hot half with
+// probability b. Which half is hot at each level is fixed per generator
+// (derived from the seed), so repeated draws produce a stable skewed
+// distribution rather than a random walk.
+package bmodel
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Gen draws values in [0, Domain) with b-model skew.
+type Gen struct {
+	b      float64
+	domain int32
+	hot    uint64 // level l's hot half is the upper half iff bit l is set
+	rng    *rand.Rand
+}
+
+// New returns a generator with bias b in [0.5, 1) over [0, domain). b = 0.5
+// degenerates to the uniform distribution; the paper's default is b = 0.7.
+func New(b float64, domain int32, seed uint64) *Gen {
+	if b < 0.5 || b >= 1 {
+		panic(fmt.Sprintf("bmodel: bias %v out of [0.5, 1)", b))
+	}
+	if domain < 1 {
+		panic("bmodel: domain must be positive")
+	}
+	return &Gen{
+		b:      b,
+		domain: domain,
+		hot:    splitmix(seed),
+		rng:    rand.New(rand.NewPCG(seed, 0x6a09e667f3bcc909)),
+	}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// Next draws one value.
+func (g *Gen) Next() int32 {
+	lo, hi := int32(0), g.domain
+	level := uint(0)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		hotUpper := g.hot>>(level%64)&1 == 1
+		takeHot := g.rng.Float64() < g.b
+		if hotUpper == takeHot {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		level++
+	}
+	return lo
+}
+
+// Bias returns the generator's b parameter.
+func (g *Gen) Bias() float64 { return g.b }
+
+// Domain returns the exclusive upper bound of generated values.
+func (g *Gen) Domain() int32 { return g.domain }

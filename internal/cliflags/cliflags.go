@@ -1,0 +1,65 @@
+// Package cliflags binds the system configuration to command-line flags,
+// shared by the sjoin-* binaries so a cluster deployment cannot drift
+// between master and slave processes.
+package cliflags
+
+import (
+	"flag"
+	"time"
+
+	"streamjoin/internal/core"
+)
+
+// Bind registers flags for every user-facing Config field onto fs and
+// returns a function that materializes the Config after fs.Parse.
+func Bind(fs *flag.FlagSet) func() core.Config {
+	def := core.DefaultConfig()
+	var (
+		slaves   = fs.Int("slaves", def.Slaves, "total slave nodes (max degree of declustering)")
+		active   = fs.Int("active", 0, "initially active slaves (0 = all)")
+		adaptive = fs.Bool("adaptive", def.Adaptive, "adapt the degree of declustering")
+		beta     = fs.Float64("beta", def.Beta, "DoD growth threshold β")
+		ng       = fs.Int("subgroups", def.SubGroups, "sub-groups ng for staggered distribution")
+		parts    = fs.Int("partitions", def.Partitions, "logical hash partitions")
+		ppg      = fs.Int("ppg", def.PartitionsPerGroup, "partitions per partition-group")
+		window   = fs.Duration("window", time.Duration(def.WindowMs)*time.Millisecond, "sliding window W")
+		theta    = fs.Int64("theta", def.Theta, "fine-tuning threshold θ (bytes)")
+		fine     = fs.Bool("finetune", def.FineTune, "enable fine-grained partition tuning")
+		td       = fs.Duration("td", time.Duration(def.DistEpochMs)*time.Millisecond, "distribution epoch")
+		tr       = fs.Duration("tr", time.Duration(def.ReorgEpochMs)*time.Millisecond, "reorganization epoch")
+		thsup    = fs.Float64("thsup", def.ThSup, "supplier occupancy threshold")
+		thcon    = fs.Float64("thcon", def.ThCon, "consumer occupancy threshold")
+		buf      = fs.Int64("slavebuf", def.SlaveBufBytes, "slave stream buffer (bytes)")
+		rate     = fs.Float64("rate", def.Rate, "per-stream arrival rate (tuples/sec)")
+		skew     = fs.Float64("skew", def.Skew, "b-model bias of join attribute values")
+		domain   = fs.Int("domain", int(def.Domain), "join attribute domain size")
+		seed     = fs.Uint64("seed", def.Seed, "workload/controller seed")
+		duration = fs.Duration("duration", time.Duration(def.DurationMs)*time.Millisecond, "run length")
+		warmup   = fs.Duration("warmup", time.Duration(def.WarmupMs)*time.Millisecond, "warm-up discarded from metrics")
+	)
+	return func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Slaves = *slaves
+		cfg.InitialActive = *active
+		cfg.Adaptive = *adaptive
+		cfg.Beta = *beta
+		cfg.SubGroups = *ng
+		cfg.Partitions = *parts
+		cfg.PartitionsPerGroup = *ppg
+		cfg.WindowMs = int32(*window / time.Millisecond)
+		cfg.Theta = *theta
+		cfg.FineTune = *fine
+		cfg.DistEpochMs = int32(*td / time.Millisecond)
+		cfg.ReorgEpochMs = int32(*tr / time.Millisecond)
+		cfg.ThSup = *thsup
+		cfg.ThCon = *thcon
+		cfg.SlaveBufBytes = *buf
+		cfg.Rate = *rate
+		cfg.Skew = *skew
+		cfg.Domain = int32(*domain)
+		cfg.Seed = *seed
+		cfg.DurationMs = int32(*duration / time.Millisecond)
+		cfg.WarmupMs = int32(*warmup / time.Millisecond)
+		return cfg
+	}
+}

@@ -1,0 +1,50 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"streamjoin/internal/core"
+)
+
+func TestDefaultsMatchDefaultConfig(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	get := Bind(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	got := get()
+	want := core.DefaultConfig()
+	if got.Slaves != want.Slaves || got.Rate != want.Rate ||
+		got.WindowMs != want.WindowMs || got.Theta != want.Theta ||
+		got.DistEpochMs != want.DistEpochMs || got.ReorgEpochMs != want.ReorgEpochMs ||
+		got.ThSup != want.ThSup || got.Partitions != want.Partitions {
+		t.Fatalf("flag defaults drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagOverrides(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	get := Bind(fs)
+	args := []string{
+		"-slaves", "5", "-rate", "4200", "-window", "90s", "-td", "750ms",
+		"-tr", "7500ms", "-finetune=false", "-adaptive", "-theta", "65536",
+		"-skew", "0.9", "-seed", "77", "-subgroups", "2",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg := get()
+	if cfg.Slaves != 5 || cfg.Rate != 4200 || cfg.WindowMs != 90_000 ||
+		cfg.DistEpochMs != 750 || cfg.ReorgEpochMs != 7500 || cfg.FineTune ||
+		!cfg.Adaptive || cfg.Theta != 65536 || cfg.Skew != 0.9 ||
+		cfg.Seed != 77 || cfg.SubGroups != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

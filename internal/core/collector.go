@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/metrics"
+	"streamjoin/internal/wire"
+)
+
+// collectorNode merges the result streams of all slaves and maintains the
+// production-delay statistics the experiments report. Its aggregates are
+// mutex-guarded because the warm-up monitor resets them from outside its
+// process (a different goroutine on the live engine).
+type collectorNode struct {
+	proc  engine.Proc
+	inbox engine.Inbox
+	stop  func() bool
+
+	mu       sync.Mutex
+	total    metrics.DelayStats
+	perSlave map[int32]*metrics.DelayStats
+	batches  int64
+}
+
+func newCollector(proc engine.Proc, inbox engine.Inbox, stop func() bool) *collectorNode {
+	return &collectorNode{
+		proc:     proc,
+		inbox:    inbox,
+		stop:     stop,
+		perSlave: make(map[int32]*metrics.DelayStats),
+	}
+}
+
+// run is the collector process body: drain result batches, folding them into
+// the delay aggregates, until asked to stop.
+func (c *collectorNode) run() {
+	const pollEvery = 500 * time.Millisecond
+	for {
+		m, ok := c.inbox.RecvBefore(c.proc.Now() + pollEvery)
+		if ok {
+			if rb, isRB := m.(*wire.ResultBatch); isRB {
+				c.fold(rb)
+			}
+		}
+		if c.stop() {
+			// Drain anything already delivered before leaving.
+			for {
+				m, ok := c.inbox.RecvBefore(c.proc.Now())
+				if !ok {
+					return
+				}
+				if rb, isRB := m.(*wire.ResultBatch); isRB {
+					c.fold(rb)
+				}
+			}
+		}
+	}
+}
+
+func statsFromBatch(rb *wire.ResultBatch) metrics.DelayStats {
+	d := metrics.DelayStats{
+		Count: rb.Outputs,
+		SumMs: rb.DelaySumMs,
+		MinMs: rb.DelayMinMs,
+		MaxMs: rb.DelayMaxMs,
+	}
+	copy(d.Hist[:], rb.Hist[:])
+	return d
+}
+
+func (c *collectorNode) fold(rb *wire.ResultBatch) {
+	if rb.Outputs == 0 {
+		return
+	}
+	d := statsFromBatch(rb)
+	c.mu.Lock()
+	c.total.Merge(&d)
+	ps, ok := c.perSlave[rb.Slave]
+	if !ok {
+		ps = &metrics.DelayStats{}
+		c.perSlave[rb.Slave] = ps
+	}
+	ps.Merge(&d)
+	c.batches++
+	c.mu.Unlock()
+}
+
+// Reset clears the aggregates (warm-up boundary).
+func (c *collectorNode) Reset() {
+	c.mu.Lock()
+	c.total.Reset()
+	c.perSlave = make(map[int32]*metrics.DelayStats)
+	c.batches = 0
+	c.mu.Unlock()
+}
+
+// Snapshot copies the aggregates.
+func (c *collectorNode) Snapshot() (metrics.DelayStats, map[int32]metrics.DelayStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per := make(map[int32]metrics.DelayStats, len(c.perSlave))
+	for id, d := range c.perSlave {
+		per[id] = *d
+	}
+	return c.total, per
+}

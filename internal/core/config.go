@@ -1,0 +1,367 @@
+// Package core assembles the paper's system: a master that hash-partitions
+// two input streams into mini-buffers and distributes them to slaves on a
+// fixed per-epoch communication pattern, slaves that run the windowed join
+// module with fine-grained partition tuning, a collector that merges results
+// and measures production delays, and a controller (inside the master) that
+// rebalances partition-groups between suppliers and consumers and adapts the
+// degree of declustering.
+//
+// The same protocol code runs on two engines: RunSim executes it on the
+// deterministic simulated cluster (used by the experiment harness to
+// regenerate the paper's figures), and the live runner executes it on real
+// goroutines with in-process or TCP transports.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streamjoin/internal/join"
+	"streamjoin/internal/simnet"
+	"streamjoin/internal/tuple"
+)
+
+// Config holds every knob of the system. DefaultConfig returns the paper's
+// Table I values.
+type Config struct {
+	// --- cluster shape ---
+
+	// Slaves is the total number of slave nodes (the maximum degree of
+	// declustering).
+	Slaves int
+	// InitialActive is the number of slaves active at start (0 = all).
+	InitialActive int
+	// Adaptive enables degree-of-declustering adaptation (§V-A).
+	Adaptive bool
+	// Beta is the DoD growth threshold: activate a node when
+	// Nsup > Beta·Ncon. The paper leaves β unspecified; default 0.5.
+	Beta float64
+	// SubGroups is ng of §V-B: slaves are divided into ng groups, each
+	// served in its own slot of the distribution epoch.
+	SubGroups int
+	// StaggerSlots implements the improvement §VI suggests under Figure
+	// 12: each slave delays its connection initiation according to its
+	// position in the (fixed) service order, spreading contacts evenly
+	// over the slot instead of stampeding at its start. This shrinks the
+	// serial-order divergence of per-slave communication times.
+	StaggerSlots bool
+
+	// --- partitioning and join ---
+
+	// Partitions is npart, the number of logical hash partitions (the
+	// master's level of indirection).
+	Partitions int
+	// PartitionsPerGroup packs consecutive partitions into one
+	// partition-group, the unit of movement and fine tuning (see DESIGN.md
+	// §5 on this interpretation).
+	PartitionsPerGroup int
+	// WindowMs is the sliding-window length W in milliseconds.
+	WindowMs int32
+	// Theta is the fine-tuning threshold θ in bytes.
+	Theta int64
+	// FineTune enables fine-grained partition tuning (§IV-D).
+	FineTune bool
+
+	// --- epochs ---
+
+	// DistEpochMs is the distribution epoch t_d in milliseconds.
+	DistEpochMs int32
+	// ReorgEpochMs is the reorganization epoch t_r in milliseconds; it must
+	// be a multiple of DistEpochMs.
+	ReorgEpochMs int32
+
+	// --- load management ---
+
+	// ThSup and ThCon classify slaves by average buffer occupancy:
+	// supplier above ThSup, consumer below ThCon.
+	ThSup float64
+	ThCon float64
+	// SlaveBufBytes is the memory allotted to a slave's stream buffer; the
+	// occupancy metric divides by it.
+	SlaveBufBytes int64
+	// SlaveMemBytes optionally bounds each slave's window-state memory
+	// (missing or zero entries mean unlimited). When bounded, the
+	// occupancy slave i reports is the maximum of its buffer occupancy
+	// and windowBytes/SlaveMemBytes[i], realizing the paper's
+	// memory-limited-nodes extension (§VI: "based on the incorporation of
+	// the memory occupancy information during partition reorganizations").
+	// A slave crowding its memory is classified as a supplier even when
+	// its CPU keeps up, so state drains toward roomier nodes.
+	SlaveMemBytes []int64
+
+	// --- workload ---
+
+	// BackgroundLoad models the paper's non-dedicated cluster: entry i is
+	// the fraction of slave i's CPU consumed by other applications, in
+	// [0, 0.95]. Simulated join work on that slave slows down by
+	// 1/(1−load). Missing entries mean 0 (dedicated node).
+	BackgroundLoad []float64
+
+	// Rate is the per-stream mean arrival rate (tuples/second).
+	Rate float64
+	// RateSchedule optionally changes the rate during the run: each step
+	// applies from AtMs on. Steps must be in increasing AtMs order.
+	RateSchedule []RateStep
+	// Skew is the b-model bias of join-attribute values.
+	Skew float64
+	// Domain is the join-attribute domain size.
+	Domain int32
+	// Seed drives every random choice (workload and controller).
+	Seed uint64
+
+	// --- run ---
+
+	// DurationMs is the total run length; WarmupMs is discarded.
+	DurationMs int32
+	WarmupMs   int32
+
+	// --- engine details ---
+
+	// Cost is the simulated CPU cost model.
+	Cost CostModel
+	// Net is the simulated interconnect.
+	Net simnet.Params
+	// ChunkTuples caps the tuples a slave processes per round so that it
+	// can honor epoch boundaries while backlogged.
+	ChunkTuples int
+	// Mode and Expiry select the join prober and expiration policy; RunSim
+	// forces Indexed/Exact, the live runner defaults to Scan/Blocks.
+	Mode   join.Mode
+	Expiry join.Expiry
+}
+
+// DefaultConfig returns the paper's Table I defaults on the calibrated
+// simulated cluster (DESIGN.md §6).
+func DefaultConfig() Config {
+	return Config{
+		Slaves:             4,
+		InitialActive:      0, // all
+		Adaptive:           false,
+		Beta:               0.5,
+		SubGroups:          1,
+		Partitions:         60,
+		PartitionsPerGroup: 1,
+		WindowMs:           10 * 60 * 1000, // W = 10 min
+		Theta:              1_500_000,      // θ = 1.5 MB
+		FineTune:           true,
+		DistEpochMs:        2_000,  // t_d = 2 s
+		ReorgEpochMs:       20_000, // t_r = 20 s
+		ThSup:              0.5,
+		ThCon:              0.01,
+		SlaveBufBytes:      1 << 20, // 1 MB stream buffer
+		Rate:               1500,
+		Skew:               0.7,
+		Domain:             10_000_000,
+		Seed:               1,
+		DurationMs:         20 * 60 * 1000, // 20 min runs
+		WarmupMs:           10 * 60 * 1000, // 10 min warm-up
+		Cost:               DefaultCostModel(),
+		Net:                simnet.DefaultParams(),
+		ChunkTuples:        4096,
+		Mode:               join.ModeIndexed,
+		Expiry:             join.ExpiryExact,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.Slaves < 1:
+		return fmt.Errorf("core: Slaves = %d", c.Slaves)
+	case c.InitialActive < 0 || c.InitialActive > c.Slaves:
+		return fmt.Errorf("core: InitialActive = %d of %d", c.InitialActive, c.Slaves)
+	case c.SubGroups < 1 || c.SubGroups > c.Slaves:
+		return fmt.Errorf("core: SubGroups = %d of %d slaves", c.SubGroups, c.Slaves)
+	case c.Partitions < 1:
+		return fmt.Errorf("core: Partitions = %d", c.Partitions)
+	case c.PartitionsPerGroup < 1 || c.Partitions%c.PartitionsPerGroup != 0:
+		return fmt.Errorf("core: PartitionsPerGroup %d must divide Partitions %d",
+			c.PartitionsPerGroup, c.Partitions)
+	case c.WindowMs <= 0:
+		return fmt.Errorf("core: WindowMs = %d", c.WindowMs)
+	case c.FineTune && c.Theta <= 0:
+		return fmt.Errorf("core: Theta = %d", c.Theta)
+	case c.DistEpochMs <= 0:
+		return fmt.Errorf("core: DistEpochMs = %d", c.DistEpochMs)
+	case c.ReorgEpochMs < c.DistEpochMs || c.ReorgEpochMs%c.DistEpochMs != 0:
+		return fmt.Errorf("core: ReorgEpochMs %d must be a positive multiple of DistEpochMs %d",
+			c.ReorgEpochMs, c.DistEpochMs)
+	case !(c.ThCon >= 0 && c.ThCon < c.ThSup && c.ThSup < 1):
+		return fmt.Errorf("core: thresholds need 0 ≤ ThCon < ThSup < 1, got %v, %v", c.ThCon, c.ThSup)
+	case c.SlaveBufBytes <= 0:
+		return fmt.Errorf("core: SlaveBufBytes = %d", c.SlaveBufBytes)
+	case c.Rate <= 0:
+		return fmt.Errorf("core: Rate = %v", c.Rate)
+	case c.Skew < 0.5 || c.Skew >= 1:
+		return fmt.Errorf("core: Skew = %v", c.Skew)
+	case c.Domain <= 0:
+		return fmt.Errorf("core: Domain = %d", c.Domain)
+	case c.DurationMs <= 0 || c.WarmupMs < 0 || c.WarmupMs >= c.DurationMs:
+		return fmt.Errorf("core: run interval [%d, %d) empty", c.WarmupMs, c.DurationMs)
+	case c.ChunkTuples < 1:
+		return fmt.Errorf("core: ChunkTuples = %d", c.ChunkTuples)
+	case c.Beta <= 0 || c.Beta >= 1:
+		return fmt.Errorf("core: Beta = %v, want (0,1)", c.Beta)
+	case len(c.BackgroundLoad) > c.Slaves:
+		return fmt.Errorf("core: %d background loads for %d slaves",
+			len(c.BackgroundLoad), c.Slaves)
+	case len(c.SlaveMemBytes) > c.Slaves:
+		return fmt.Errorf("core: %d memory bounds for %d slaves",
+			len(c.SlaveMemBytes), c.Slaves)
+	}
+	for i, m := range c.SlaveMemBytes {
+		if m < 0 {
+			return fmt.Errorf("core: SlaveMemBytes[%d] = %d", i, m)
+		}
+	}
+	for i, b := range c.BackgroundLoad {
+		if b < 0 || b > 0.95 {
+			return fmt.Errorf("core: BackgroundLoad[%d] = %v, want [0, 0.95]", i, b)
+		}
+	}
+	for i, st := range c.RateSchedule {
+		if st.Rate <= 0 {
+			return fmt.Errorf("core: RateSchedule[%d].Rate = %v", i, st.Rate)
+		}
+		if i > 0 && st.AtMs <= c.RateSchedule[i-1].AtMs {
+			return fmt.Errorf("core: RateSchedule not increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// RateStep is one step of a piecewise-constant rate schedule.
+type RateStep struct {
+	AtMs int32
+	Rate float64
+}
+
+// memBound returns slave i's window-memory bound (0 = unlimited).
+func (c *Config) memBound(i int32) int64 {
+	if int(i) >= len(c.SlaveMemBytes) {
+		return 0
+	}
+	return c.SlaveMemBytes[i]
+}
+
+// subgroupOf returns the sub-group slave i belongs to.
+func (c *Config) subgroupOf(i int) int { return i % c.SubGroups }
+
+// slotOffset returns how far into each distribution epoch slave i initiates
+// its exchange: the start of its sub-group's slot, plus — with StaggerSlots —
+// a delay proportional to its rank in the fixed service order (§VI's
+// suggested refinement under Figure 12).
+func (c *Config) slotOffset(i int) time.Duration {
+	td := time.Duration(c.DistEpochMs) * time.Millisecond
+	slotLen := td / time.Duration(c.SubGroups)
+	off := time.Duration(c.subgroupOf(i)) * slotLen
+	if c.StaggerSlots {
+		rank := i / c.SubGroups
+		members := (c.Slaves - c.subgroupOf(i) + c.SubGroups - 1) / c.SubGroups
+		if members > 0 {
+			off += time.Duration(rank) * slotLen / time.Duration(members)
+		}
+	}
+	return off
+}
+
+// slowdown returns the CPU dilation factor of slave i under its background
+// load.
+func (c *Config) slowdown(i int32) float64 {
+	if int(i) >= len(c.BackgroundLoad) {
+		return 1
+	}
+	return 1 / (1 - c.BackgroundLoad[i])
+}
+
+// NumGroups returns the number of partition-groups.
+func (c *Config) NumGroups() int { return c.Partitions / c.PartitionsPerGroup }
+
+// GroupOfPartition maps a partition to its group.
+func (c *Config) GroupOfPartition(p int) int32 { return int32(p / c.PartitionsPerGroup) }
+
+// PartitionOfKey maps a join-attribute value to its partition.
+func (c *Config) PartitionOfKey(key int32) int { return tuple.PartitionOf(key, c.Partitions) }
+
+// GroupOfKey maps a join-attribute value to its partition-group.
+func (c *Config) GroupOfKey(key int32) int32 {
+	return c.GroupOfPartition(c.PartitionOfKey(key))
+}
+
+// initialActive resolves InitialActive (0 = all slaves).
+func (c *Config) initialActive() int {
+	if c.InitialActive == 0 {
+		return c.Slaves
+	}
+	return c.InitialActive
+}
+
+// epochsPerReorg is t_r / t_d.
+func (c *Config) epochsPerReorg() int64 {
+	return int64(c.ReorgEpochMs / c.DistEpochMs)
+}
+
+// joinConfig builds the join-module configuration.
+func (c *Config) joinConfig() join.Config {
+	return join.Config{
+		WindowMs: c.WindowMs,
+		Theta:    c.Theta,
+		FineTune: c.FineTune,
+		Mode:     c.Mode,
+		Expiry:   c.Expiry,
+	}
+}
+
+// CostModel is the simulated CPU cost of the slave and master inner loops,
+// calibrated once against the paper's testbed-era hardware (DESIGN.md §6).
+type CostModel struct {
+	// TupleCompare is charged per tuple visited by the nested-loop scan.
+	TupleCompare time.Duration
+	// TupleIngest is charged per tuple appended to a window (hashing,
+	// buffering, block management).
+	TupleIngest time.Duration
+	// TupleExpire is charged per tuple expired.
+	TupleExpire time.Duration
+	// TupleMove is charged per tuple relocated by splits, merges and state
+	// (de)serialization.
+	TupleMove time.Duration
+	// TupleOutput is charged per output tuple formed.
+	TupleOutput time.Duration
+	// MasterTuple is charged per tuple the master ingests or drains.
+	MasterTuple time.Duration
+}
+
+// DefaultCostModel reflects the paper's testbed: a ~933 MHz Pentium III
+// running the join in Java (mpiJava), roughly 11 cycles per scanned tuple in
+// the inner comparison loop, with heavier per-tuple buffer management. The
+// constant anchors the 1-slave saturation knee between 1500 and 2000
+// tuples/s as in Figure 5.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TupleCompare: 12 * time.Nanosecond,
+		TupleIngest:  150 * time.Nanosecond,
+		TupleExpire:  25 * time.Nanosecond,
+		TupleMove:    60 * time.Nanosecond,
+		TupleOutput:  40 * time.Nanosecond,
+		MasterTuple:  80 * time.Nanosecond,
+	}
+}
+
+// Round prices a join processing round.
+func (cm *CostModel) Round(r join.RoundResult) time.Duration {
+	return time.Duration(r.Scanned)*cm.TupleCompare +
+		time.Duration(r.Ingested)*cm.TupleIngest +
+		time.Duration(r.Expired)*cm.TupleExpire +
+		time.Duration(r.SplitMoves)*cm.TupleMove +
+		time.Duration(r.Outputs)*cm.TupleOutput
+}
+
+// Move prices (de)serializing n tuples of moved state.
+func (cm *CostModel) Move(n int) time.Duration {
+	return time.Duration(n) * cm.TupleMove
+}
+
+// Master prices master-side handling of n tuples.
+func (cm *CostModel) Master(n int) time.Duration {
+	return time.Duration(n) * cm.MasterTuple
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// This file deploys the same master/slave protocol code over real TCP for a
+// multi-process (or multi-host) cluster. The master binary hosts the master
+// node, the collector, and the synthetic stream sources; slave binaries host
+// one slave each and a full mesh among themselves for state movement.
+//
+// Wiring protocol (before the epoch schedule starts):
+//
+//  1. every slave dials the master's control address and sends a
+//     registration Hello carrying its ID;
+//  2. slaves establish the mesh: slave i accepts from every j > i on its
+//     own address and dials every j < i, identifying with a Hello;
+//  3. slaves dial the master's results address (collector);
+//  4. when all slaves are registered the master sends a start Batch
+//     (Epoch = -1) on every control connection; receipt defines each
+//     slave's local epoch-0 reference, which is the paper's "synchronize
+//     clocks with the active slaves".
+
+// startEpoch is the sentinel epoch of the clock-synchronization batch.
+const startEpoch = int64(-1)
+
+// ServeMasterTCP runs the master and collector, listening for slave control
+// connections on ctlAddr and result connections on resAddr. It returns the
+// run's Result after cfg.DurationMs of wall time plus shutdown.
+func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Mode = join.ModeScan
+	cfg.Expiry = join.ExpiryBlocks
+
+	ctlLn, err := net.Listen("tcp", ctlAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctlLn.Close()
+	resLn, err := net.Listen("tcp", resAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer resLn.Close()
+
+	env := engine.NewLiveEnv()
+	masterP := env.NewProc("master")
+	collP := env.NewProc("collector")
+	inbox := engine.NewLiveInbox(collP, 1<<14)
+
+	// Register slaves.
+	conns := make([]engine.Conn, cfg.Slaves)
+	raw := make([]net.Conn, cfg.Slaves)
+	for n := 0; n < cfg.Slaves; n++ {
+		c, err := ctlLn.Accept()
+		if err != nil {
+			return nil, err
+		}
+		ec := engine.WrapTCP(masterP, c)
+		hello, ok := ec.Recv().(*wire.Hello)
+		if !ok || hello.Slave < 0 || int(hello.Slave) >= cfg.Slaves || conns[hello.Slave] != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: bad registration from %v", c.RemoteAddr())
+		}
+		conns[hello.Slave] = ec
+		raw[hello.Slave] = c
+	}
+	defer func() {
+		for _, c := range raw {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	// Result connections: one reader goroutine per slave feeds the inbox.
+	async := engine.NewLiveAsyncSender(collP, inbox)
+	for n := 0; n < cfg.Slaves; n++ {
+		c, err := resLn.Accept()
+		if err != nil {
+			return nil, err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			defer func() { recover() }() // connection teardown at shutdown
+			rc := engine.WrapTCP(collP, c)
+			for {
+				async.SendAsync(rc.Recv())
+			}
+		}(c)
+	}
+
+	// Clock synchronization: epoch schedules start now.
+	for _, c := range conns {
+		c.Send(&wire.Batch{Epoch: startEpoch})
+	}
+
+	var masterStop, collStop atomic.Bool
+	ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
+	var feedStop atomic.Bool
+	go feedSources(env, &cfg, ingest.ch, &feedStop)
+
+	master := newMaster(&cfg, masterP, conns, ingest, masterStop.Load)
+	collector := newCollector(collP, inbox, collStop.Load)
+	collDone := make(chan struct{})
+	go func() { defer close(collDone); collector.run() }()
+
+	errCh := make(chan error, 1)
+	masterDone := make(chan struct{})
+	go func() {
+		defer close(masterDone)
+		defer func() {
+			if r := recover(); r != nil {
+				errCh <- fmt.Errorf("core: master failed: %v", r)
+			}
+		}()
+		master.run()
+	}()
+
+	time.Sleep(time.Duration(cfg.DurationMs) * time.Millisecond)
+	masterStop.Store(true)
+	feedStop.Store(true)
+	select {
+	case <-masterDone:
+	case err := <-errCh:
+		return nil, err
+	case <-time.After(time.Duration(cfg.DurationMs)*time.Millisecond + 30*time.Second):
+		return nil, fmt.Errorf("core: TCP cluster did not shut down")
+	}
+	collStop.Store(true)
+	<-collDone
+
+	res := &Result{
+		Config:             cfg,
+		MeasuredMs:         cfg.DurationMs,
+		Master:             masterP.Stats(),
+		Slaves:             make([]engine.Stats, cfg.Slaves),
+		SlaveWindowBytes:   make([]int64, cfg.Slaves),
+		SlaveActive:        append([]bool(nil), master.active...),
+		DoDTrace:           master.dodTrace,
+		MovesIssued:        master.movesIssued,
+		MovesCompleted:     master.movesDone,
+		MasterPeakBufBytes: master.peakBuf,
+		EpochsServed:       master.epochsServed,
+	}
+	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Outputs = res.Delay.Count
+	for _, a := range master.active {
+		if a {
+			res.ActiveEnd++
+		}
+	}
+	return res, nil
+}
+
+// ServeSlaveTCP runs slave `id`: dial the master at ctlAddr and resAddr,
+// listen on meshAddrs[id] for higher-numbered peers and dial lower-numbered
+// ones, then run the slave loop until the master shuts it down.
+func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if id < 0 || id >= cfg.Slaves {
+		return fmt.Errorf("core: slave id %d of %d", id, cfg.Slaves)
+	}
+	if len(meshAddrs) != cfg.Slaves {
+		return fmt.Errorf("core: %d mesh addresses for %d slaves", len(meshAddrs), cfg.Slaves)
+	}
+	cfg.Mode = join.ModeScan
+	cfg.Expiry = join.ExpiryBlocks
+
+	env := engine.NewLiveEnv()
+	proc := env.NewProc(fmt.Sprintf("slave%d", id))
+
+	mc, err := dialRetry(ctlAddr)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+	master := engine.WrapTCP(proc, mc)
+	master.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
+
+	// Mesh: listen for higher IDs, dial lower IDs.
+	peers := make([]engine.Conn, cfg.Slaves)
+	var ln net.Listener
+	if id < cfg.Slaves-1 {
+		ln, err = net.Listen("tcp", meshAddrs[id])
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+	}
+	for j := 0; j < id; j++ {
+		c, err := dialRetry(meshAddrs[j])
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		pc := engine.WrapTCP(proc, c)
+		pc.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
+		peers[j] = pc
+	}
+	for j := id + 1; j < cfg.Slaves; j++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		pc := engine.WrapTCP(proc, c)
+		hello, ok := pc.Recv().(*wire.Hello)
+		if !ok || int(hello.Slave) <= id || int(hello.Slave) >= cfg.Slaves {
+			return fmt.Errorf("core: bad mesh registration")
+		}
+		peers[hello.Slave] = pc
+	}
+
+	rc, err := dialRetry(resAddr)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	coll := &tcpAsyncSender{conn: engine.WrapTCP(proc, rc)}
+
+	// Wait for the master's start batch; it defines epoch zero. Re-anchor
+	// the environment clock so slot arithmetic matches the master's.
+	start, ok := master.Recv().(*wire.Batch)
+	if !ok || start.Epoch != startEpoch {
+		return fmt.Errorf("core: expected start batch")
+	}
+	env2 := engine.NewLiveEnv()
+	proc2 := env2.NewProc(fmt.Sprintf("slave%d", id))
+	rebind := func(c engine.Conn) engine.Conn {
+		if tc, ok := c.(interface {
+			Rebind(*engine.LiveProc) engine.Conn
+		}); ok {
+			return tc.Rebind(proc2)
+		}
+		return c
+	}
+	master = rebind(master)
+	for j := range peers {
+		if peers[j] != nil {
+			peers[j] = rebind(peers[j])
+		}
+	}
+	coll.conn = rebind(coll.conn)
+
+	s := newSlave(&cfg, int32(id), proc2, master, peers, coll)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: slave %d failed: %v", id, r)
+		}
+	}()
+	s.run()
+	return err
+}
+
+// tcpAsyncSender adapts a framed TCP connection to the AsyncSender used for
+// the collector path (TCP buffering provides the asynchrony).
+type tcpAsyncSender struct {
+	conn engine.Conn
+}
+
+// SendAsync implements engine.AsyncSender.
+func (t *tcpAsyncSender) SendAsync(m wire.Message) { t.conn.Send(m) }
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("core: dial %s: %w", addr, lastErr)
+}

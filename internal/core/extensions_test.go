@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlotOffsetArithmetic(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 4
+	cfg.SubGroups = 2
+	cfg.DistEpochMs = 1000
+	// Without staggering: subgroup start only.
+	if cfg.slotOffset(0) != 0 || cfg.slotOffset(2) != 0 {
+		t.Fatal("subgroup 0 slaves should start at slot 0")
+	}
+	if cfg.slotOffset(1) != 500*time.Millisecond || cfg.slotOffset(3) != 500*time.Millisecond {
+		t.Fatal("subgroup 1 slaves should start at the second slot")
+	}
+	// With staggering: rank spreads members across the slot.
+	cfg.StaggerSlots = true
+	if cfg.slotOffset(0) != 0 {
+		t.Fatalf("first member moved: %v", cfg.slotOffset(0))
+	}
+	if cfg.slotOffset(2) != 250*time.Millisecond {
+		t.Fatalf("second member of subgroup 0: %v", cfg.slotOffset(2))
+	}
+	if cfg.slotOffset(1) != 500*time.Millisecond || cfg.slotOffset(3) != 750*time.Millisecond {
+		t.Fatalf("subgroup 1 staggering: %v / %v", cfg.slotOffset(1), cfg.slotOffset(3))
+	}
+}
+
+func TestStaggeredSlotsReduceCommDivergence(t *testing.T) {
+	base := smokeConfig()
+	base.Slaves = 4
+	base.Rate = 2000
+	plain := mustRun(t, base)
+	stag := base
+	stag.StaggerSlots = true
+	staggered := mustRun(t, stag)
+
+	spread := func(r *Result) float64 {
+		s := r.CommSummary()
+		return s.Max - s.Min
+	}
+	if spread(staggered) >= spread(plain) {
+		t.Fatalf("staggering did not shrink divergence: plain=%.2fs staggered=%.2fs",
+			spread(plain), spread(staggered))
+	}
+	// Throughput must not suffer.
+	lo := plain.Outputs * 95 / 100
+	if staggered.Outputs < lo {
+		t.Fatalf("staggering lost outputs: %d vs %d", staggered.Outputs, plain.Outputs)
+	}
+}
+
+func TestMemoryLimitedNodeShedsState(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 2
+	cfg.Rate = 1200
+	cfg.WindowMs = 40_000
+	cfg.DurationMs = 180_000
+	cfg.WarmupMs = 90_000
+	// Slave 0 can hold only a sliver of the window state; slave 1 is
+	// unlimited. CPU is never the bottleneck here.
+	cfg.SlaveMemBytes = []int64{256 << 10, 0}
+	res := mustRun(t, cfg)
+	if res.MovesCompleted == 0 {
+		t.Fatalf("memory pressure triggered no movements (issued=%d)", res.MovesIssued)
+	}
+	if res.SlaveWindowBytes[0] >= res.SlaveWindowBytes[1] {
+		t.Fatalf("window state did not drain from the memory-limited node: %v",
+			res.SlaveWindowBytes)
+	}
+	// The limited node should settle near or below its bound.
+	if res.SlaveWindowBytes[0] > 2*(256<<10) {
+		t.Fatalf("limited node still holds %d bytes", res.SlaveWindowBytes[0])
+	}
+}
+
+func TestMemoryBoundValidation(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.SlaveMemBytes = []int64{1, 2, 3, 4, 5, 6, 7}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("too many memory bounds accepted")
+	}
+	cfg = smokeConfig()
+	cfg.SlaveMemBytes = []int64{-1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative memory bound accepted")
+	}
+}

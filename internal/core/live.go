@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/workload"
+)
+
+// liveIngestor drains tuples pushed by the source goroutines. Timestamps are
+// assigned by the sources from the shared live clock; the master's
+// per-partition monotonicity clamp absorbs cross-source interleaving.
+type liveIngestor struct {
+	ch chan tuple.Tuple
+}
+
+// Pull implements Ingestor; it never blocks.
+func (in *liveIngestor) Pull(int32) []tuple.Tuple {
+	var out []tuple.Tuple
+	for {
+		select {
+		case t := <-in.ch:
+			out = append(out, t)
+		default:
+			return out
+		}
+	}
+}
+
+// feedSources generates both streams in real time, pushing arrivals every
+// few milliseconds, honoring the rate schedule.
+func feedSources(env *engine.LiveEnv, cfg *Config, ch chan tuple.Tuple, stop *atomic.Bool) {
+	s1, s2 := workload.Pair(workload.Config{
+		Rate:   cfg.Rate,
+		Skew:   cfg.Skew,
+		Domain: cfg.Domain,
+		Seed:   cfg.Seed,
+	})
+	schedule := cfg.RateSchedule
+	lastMs := int32(0)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for !stop.Load() {
+		<-tick.C
+		nowMs := int32(env.Now() / time.Millisecond)
+		if nowMs <= lastMs {
+			continue
+		}
+		for len(schedule) > 0 && schedule[0].AtMs <= nowMs {
+			s1.SetRate(schedule[0].Rate)
+			s2.SetRate(schedule[0].Rate)
+			schedule = schedule[1:]
+		}
+		batch := workload.Merge(s1.Batch(lastMs, nowMs), s2.Batch(lastMs, nowMs))
+		lastMs = nowMs
+		for _, t := range batch {
+			select {
+			case ch <- t:
+			default: // overloaded feeder: drop rather than block the clock
+			}
+		}
+	}
+}
+
+// RunLive executes the full system on real goroutines with in-process
+// rendezvous transports. The join module performs honest nested-loop scans
+// (ModeScan) with the paper's block-granularity expiry. Configuration
+// durations are wall-clock: keep them short.
+func RunLive(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Mode = join.ModeScan
+	cfg.Expiry = join.ExpiryBlocks
+
+	env := engine.NewLiveEnv()
+	masterP := env.NewProc("master")
+	collP := env.NewProc("collector")
+	slaveP := make([]*engine.LiveProc, cfg.Slaves)
+	for i := range slaveP {
+		slaveP[i] = env.NewProc(fmt.Sprintf("slave%d", i))
+	}
+
+	mConns := make([]engine.Conn, cfg.Slaves)
+	sConns := make([]engine.Conn, cfg.Slaves)
+	for i := range slaveP {
+		mConns[i], sConns[i] = engine.Pipe(masterP, slaveP[i])
+	}
+	mesh := make([][]engine.Conn, cfg.Slaves)
+	for i := range mesh {
+		mesh[i] = make([]engine.Conn, cfg.Slaves)
+	}
+	for i := 0; i < cfg.Slaves; i++ {
+		for j := i + 1; j < cfg.Slaves; j++ {
+			mesh[i][j], mesh[j][i] = engine.Pipe(slaveP[i], slaveP[j])
+		}
+	}
+	inbox := engine.NewLiveInbox(collP, 1<<14)
+
+	var masterStop, collStop, feedStop atomic.Bool
+	ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
+	master := newMaster(&cfg, masterP, mConns, ingest, masterStop.Load)
+	collector := newCollector(collP, inbox, collStop.Load)
+	slaves := make([]*slaveNode, cfg.Slaves)
+	for i := range slaves {
+		slaves[i] = newSlave(&cfg, int32(i), slaveP[i], sConns[i], mesh[i],
+			engine.NewLiveAsyncSender(slaveP[i], inbox))
+	}
+
+	errCh := make(chan error, cfg.Slaves+2)
+	guard := func(name string, fn func()) func() {
+		return func() {
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("core: live %s failed: %v", name, r)
+				}
+			}()
+			fn()
+		}
+	}
+
+	var nodes sync.WaitGroup
+	nodes.Add(1 + cfg.Slaves)
+	go func() { defer nodes.Done(); guard("master", master.run)() }()
+	for i := range slaves {
+		s := slaves[i]
+		go func() { defer nodes.Done(); guard(s.proc.Name(), s.run)() }()
+	}
+	var collDone sync.WaitGroup
+	collDone.Add(1)
+	go func() { defer collDone.Done(); guard("collector", collector.run)() }()
+	go feedSources(env, &cfg, ingest.ch, &feedStop)
+
+	// Warm-up boundary.
+	warmSlaves := make([]engine.Stats, cfg.Slaves)
+	var warmMaster engine.Stats
+	warmTimer := time.AfterFunc(time.Duration(cfg.WarmupMs)*time.Millisecond, func() {
+		warmMaster = masterP.Stats()
+		for i, p := range slaveP {
+			warmSlaves[i] = p.Stats()
+		}
+		collector.Reset()
+	})
+	defer warmTimer.Stop()
+
+	// Let the run play out, then stop the master, which shuts the slaves
+	// down through the protocol.
+	time.Sleep(time.Duration(cfg.DurationMs) * time.Millisecond)
+	masterStop.Store(true)
+	feedStop.Store(true)
+
+	done := make(chan struct{})
+	go func() { nodes.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-errCh:
+		return nil, err
+	case <-time.After(time.Duration(cfg.DurationMs)*time.Millisecond + 30*time.Second):
+		return nil, fmt.Errorf("core: live cluster did not shut down")
+	}
+	collStop.Store(true)
+	collDone.Wait()
+
+	res := &Result{
+		Config:             cfg,
+		MeasuredMs:         cfg.DurationMs - cfg.WarmupMs,
+		Master:             masterP.Stats().Sub(warmMaster),
+		Slaves:             make([]engine.Stats, cfg.Slaves),
+		SlaveWindowBytes:   make([]int64, cfg.Slaves),
+		SlaveActive:        make([]bool, cfg.Slaves),
+		DoDTrace:           master.dodTrace,
+		MovesIssued:        master.movesIssued,
+		MovesCompleted:     master.movesDone,
+		MasterPeakBufBytes: master.peakBuf,
+		EpochsServed:       master.epochsServed,
+	}
+	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Outputs = res.Delay.Count
+	for i := range slaves {
+		res.Slaves[i] = slaveP[i].Stats().Sub(warmSlaves[i])
+		res.SlaveWindowBytes[i] = slaves[i].mod.WindowBytes()
+		res.SlaveActive[i] = master.active[i]
+		if master.active[i] {
+			res.ActiveEnd++
+		}
+		res.Splits += slaves[i].mod.Splits()
+		res.Merges += slaves[i].mod.Merges()
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// liveConfig is a short wall-clock configuration for live-engine tests.
+func liveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Slaves = 2
+	cfg.Rate = 800
+	cfg.WindowMs = 3_000
+	cfg.DistEpochMs = 200
+	cfg.ReorgEpochMs = 1_000
+	cfg.DurationMs = 4_000
+	cfg.WarmupMs = 1_000
+	cfg.Theta = 32 * 1024
+	cfg.Domain = 20_000
+	return cfg
+}
+
+func TestRunLiveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	res, err := RunLive(liveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 {
+		t.Fatal("live cluster produced no outputs")
+	}
+	if res.EpochsServed < 10 {
+		t.Fatalf("epochs served = %d", res.EpochsServed)
+	}
+	// Pre-saturation the delay tracks the distribution epoch.
+	if res.MeanDelay() <= 0 || res.MeanDelay() > 2*time.Second {
+		t.Fatalf("mean delay = %v", res.MeanDelay())
+	}
+	t.Logf("live: outputs=%d delay=%v epochs=%d", res.Outputs, res.MeanDelay(), res.EpochsServed)
+}
+
+func TestRunLiveWithMovements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	cfg := liveConfig()
+	cfg.Slaves = 2
+	cfg.Rate = 2_000
+	cfg.DurationMs = 6_000
+	cfg.WarmupMs = 1_000
+	// Make slave 0 slow for real: live mode has no simulated background
+	// load, so instead provoke movements with a tiny supplier threshold.
+	cfg.ThSup = 0.02
+	cfg.ThCon = 0.0001
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 {
+		t.Fatal("no outputs")
+	}
+	t.Logf("live movements: issued=%d done=%d", res.MovesIssued, res.MovesCompleted)
+}

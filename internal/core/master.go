@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// Ingestor supplies the master with stream tuples that arrived up to a given
+// time, in timestamp order. The simulated engine pulls from workload
+// sources; the live engine drains a channel fed by source goroutines.
+type Ingestor interface {
+	Pull(uptoMs int32) []tuple.Tuple
+}
+
+// moveInfo tracks one in-flight partition-group movement.
+type moveInfo struct {
+	id    int64
+	group int32
+	from  int32
+	to    int32
+}
+
+// DoDSample records the degree of declustering at a reorganization point.
+type DoDSample struct {
+	AtMs   int32
+	Active int
+}
+
+// masterNode runs Algorithm 1: buffer incoming tuples in per-partition
+// mini-buffers, serve slaves in a fixed order each distribution epoch, and
+// reorganize (supplier/consumer pairing, degree-of-declustering adaptation)
+// each reorganization epoch.
+type masterNode struct {
+	cfg  *Config
+	proc engine.Proc
+	conn []engine.Conn
+	in   Ingestor
+	stop func() bool
+
+	minibuf  [][]tuple.Tuple // per partition, timestamp-ordered
+	lastTS   []int32         // per partition, last buffered timestamp (order guard)
+	bufBytes int64
+	peakBuf  int64
+
+	groupOwner []int32
+	heldGroup  map[int32]bool
+
+	active    []bool
+	occ       []float64
+	haveOcc   []bool
+	pendDir   [][]wire.Directive
+	pendAct   []bool
+	pendDeact []bool
+
+	inflight map[int64]moveInfo
+	nextMove int64
+	rng      *rand.Rand
+
+	// instrumentation
+	epochsServed int64
+	lastEpochAt  time.Duration
+	movesIssued  int
+	movesDone    int
+	dodTrace     []DoDSample
+	shutdownSent []bool
+}
+
+func newMaster(cfg *Config, proc engine.Proc, conns []engine.Conn, in Ingestor, stop func() bool) *masterNode {
+	m := &masterNode{
+		cfg:          cfg,
+		proc:         proc,
+		conn:         conns,
+		in:           in,
+		stop:         stop,
+		minibuf:      make([][]tuple.Tuple, cfg.Partitions),
+		lastTS:       make([]int32, cfg.Partitions),
+		groupOwner:   make([]int32, cfg.NumGroups()),
+		heldGroup:    make(map[int32]bool),
+		active:       make([]bool, cfg.Slaves),
+		occ:          make([]float64, cfg.Slaves),
+		haveOcc:      make([]bool, cfg.Slaves),
+		pendDir:      make([][]wire.Directive, cfg.Slaves),
+		pendAct:      make([]bool, cfg.Slaves),
+		pendDeact:    make([]bool, cfg.Slaves),
+		inflight:     make(map[int64]moveInfo),
+		nextMove:     1,
+		rng:          rand.New(rand.NewPCG(cfg.Seed, 0x51700a75e1ec0111)),
+		shutdownSent: make([]bool, cfg.Slaves),
+	}
+	// Initial placement: partition-groups round-robin over the initially
+	// active slaves.
+	n0 := cfg.initialActive()
+	for i := 0; i < n0; i++ {
+		m.active[i] = true
+	}
+	for g := range m.groupOwner {
+		m.groupOwner[g] = int32(g % n0)
+	}
+	return m
+}
+
+// run is the master process body.
+func (m *masterNode) run() {
+	td := time.Duration(m.cfg.DistEpochMs) * time.Millisecond
+	ng := m.cfg.SubGroups
+	K := m.cfg.epochsPerReorg()
+
+	for e := int64(0); ; e++ {
+		stopping := m.stop()
+		epochStart := time.Duration(e) * td
+		for slot := 0; slot < ng; slot++ {
+			for i := slot; i < m.cfg.Slaves; i += ng {
+				if !m.shouldServe(e, i) {
+					continue
+				}
+				m.proc.IdleUntil(epochStart + m.cfg.slotOffset(i))
+				m.ingest(msOf(m.proc.Now()))
+				m.serve(e, int32(i), stopping)
+			}
+		}
+		m.epochsServed++
+		m.lastEpochAt = m.proc.Now()
+		if stopping && m.allShutdown() {
+			return
+		}
+		if !stopping && (e+1)%K == 0 {
+			m.reorganize(e)
+		}
+	}
+}
+
+// shouldServe reports whether slave i participates in epoch e: active slaves
+// every epoch, inactive slaves only at reorganization boundaries (their
+// low-cost poll for reactivation).
+func (m *masterNode) shouldServe(e int64, i int) bool {
+	if m.shutdownSent[i] {
+		return false
+	}
+	return m.active[i] || e%m.cfg.epochsPerReorg() == 0
+}
+
+func (m *masterNode) allShutdown() bool {
+	for _, s := range m.shutdownSent {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// ingest buffers newly arrived tuples into their partition mini-buffers.
+// Timestamps are clamped to per-partition monotonicity (the live engine can
+// deliver cross-source arrivals marginally out of order).
+func (m *masterNode) ingest(uptoMs int32) {
+	ts := m.in.Pull(uptoMs)
+	if len(ts) == 0 {
+		return
+	}
+	for _, t := range ts {
+		p := m.cfg.PartitionOfKey(t.Key)
+		if t.TS < m.lastTS[p] {
+			t.TS = m.lastTS[p]
+		} else {
+			m.lastTS[p] = t.TS
+		}
+		m.minibuf[p] = append(m.minibuf[p], t)
+	}
+	m.bufBytes += int64(len(ts)) * tuple.LogicalSize
+	if m.bufBytes > m.peakBuf {
+		m.peakBuf = m.bufBytes
+	}
+	m.proc.Compute(m.cfg.Cost.Master(len(ts)))
+}
+
+// serve performs one epoch exchange with slave i: receive its Hello (load
+// report and movement ACKs), then send the tuples buffered for its
+// partition-groups plus any pending directives.
+func (m *masterNode) serve(e int64, i int32, stopping bool) {
+	hello, ok := m.conn[i].Recv().(*wire.Hello)
+	if !ok {
+		panic(fmt.Sprintf("core: master expected Hello from slave %d", i))
+	}
+	m.occ[i] = hello.Occupancy
+	m.haveOcc[i] = true
+	for _, ack := range hello.MoveACKs {
+		m.completeMove(ack)
+	}
+
+	batch := &wire.Batch{Epoch: e}
+	if stopping {
+		batch.Shutdown = true
+		m.shutdownSent[i] = true
+	}
+	if m.pendAct[i] {
+		batch.Activate = true
+		m.pendAct[i] = false
+		m.active[i] = true
+	}
+	deact := m.pendDeact[i]
+	if deact {
+		batch.Deactivate = true
+		m.pendDeact[i] = false
+	}
+	batch.Directives = m.pendDir[i]
+	m.pendDir[i] = nil
+
+	if m.active[i] {
+		batch.Tuples = m.drainFor(i)
+	}
+	m.proc.Compute(m.cfg.Cost.Master(len(batch.Tuples)))
+	m.conn[i].Send(batch)
+	if deact {
+		m.active[i] = false
+	}
+}
+
+// drainFor empties the mini-buffers of every partition-group owned by slave
+// i (except groups with an in-flight movement, whose tuples are withheld
+// until the consumer acknowledges) and returns the merged, timestamp-ordered
+// batch.
+func (m *masterNode) drainFor(i int32) []tuple.Tuple {
+	var lists [][]tuple.Tuple
+	total := 0
+	for g, owner := range m.groupOwner {
+		if owner != i || m.heldGroup[int32(g)] {
+			continue
+		}
+		lo := g * m.cfg.PartitionsPerGroup
+		for p := lo; p < lo+m.cfg.PartitionsPerGroup; p++ {
+			if len(m.minibuf[p]) > 0 {
+				lists = append(lists, m.minibuf[p])
+				total += len(m.minibuf[p])
+				m.minibuf[p] = nil
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	m.bufBytes -= int64(total) * tuple.LogicalSize
+	return mergeTuples(lists, total)
+}
+
+// mergeTuples k-way merges timestamp-ordered lists.
+func mergeTuples(lists [][]tuple.Tuple, total int) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		var bestTS int32
+		for k, l := range lists {
+			if idx[k] >= len(l) {
+				continue
+			}
+			if best == -1 || l[idx[k]].TS < bestTS {
+				best = k
+				bestTS = l[idx[k]].TS
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func (m *masterNode) completeMove(id int64) {
+	mi, ok := m.inflight[id]
+	if !ok {
+		return
+	}
+	m.groupOwner[mi.group] = mi.to
+	delete(m.heldGroup, mi.group)
+	delete(m.inflight, id)
+	m.movesDone++
+}
+
+// busySlaves returns the set of slaves that are part of an unfinished
+// movement or have undelivered directives; they sit out this reorganization.
+func (m *masterNode) busySlaves() map[int32]bool {
+	busy := make(map[int32]bool)
+	for _, mi := range m.inflight {
+		busy[mi.from] = true
+		busy[mi.to] = true
+	}
+	for i, dirs := range m.pendDir {
+		if len(dirs) > 0 {
+			busy[int32(i)] = true
+		}
+	}
+	for i := range m.pendAct {
+		if m.pendAct[i] || m.pendDeact[i] {
+			busy[int32(i)] = true
+		}
+	}
+	return busy
+}
+
+// freeGroupsOf lists the groups owned by slave i that are not mid-movement.
+func (m *masterNode) freeGroupsOf(i int32) []int32 {
+	var out []int32
+	for g, owner := range m.groupOwner {
+		if owner == i && !m.heldGroup[int32(g)] {
+			out = append(out, int32(g))
+		}
+	}
+	return out
+}
+
+func (m *masterNode) activeCount() int {
+	n := 0
+	for _, a := range m.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// reorganize classifies slaves by reported occupancy, adapts the degree of
+// declustering, and pairs each supplier with a unique consumer, moving one
+// randomly chosen partition-group per pair (§IV-C, §V-A).
+func (m *masterNode) reorganize(e int64) {
+	m.dodTrace = append(m.dodTrace, DoDSample{
+		AtMs:   int32((e + 1) * int64(m.cfg.DistEpochMs)),
+		Active: m.activeCount(),
+	})
+	busy := m.busySlaves()
+
+	var sups, cons []int32
+	for i := 0; i < m.cfg.Slaves; i++ {
+		id := int32(i)
+		if !m.active[i] || busy[id] || !m.haveOcc[i] {
+			continue
+		}
+		switch {
+		case m.occ[i] > m.cfg.ThSup && len(m.freeGroupsOf(id)) > 0:
+			sups = append(sups, id)
+		case m.occ[i] < m.cfg.ThCon:
+			cons = append(cons, id)
+		}
+	}
+	// Heaviest suppliers first, lightest consumers first; slave ID breaks
+	// ties deterministically.
+	sort.SliceStable(sups, func(a, b int) bool { return m.occ[sups[a]] > m.occ[sups[b]] })
+	sort.SliceStable(cons, func(a, b int) bool { return m.occ[cons[a]] < m.occ[cons[b]] })
+
+	if m.cfg.Adaptive {
+		if len(sups) == 0 {
+			// Everyone is neutral or consumer: shrink the degree of
+			// declustering by draining the lightest consumer.
+			m.deactivateOne(cons, busy)
+			return
+		}
+		if float64(len(sups)) > m.cfg.Beta*float64(len(cons)) {
+			// Overload signal: grow the degree of declustering. The
+			// activated slave joins the consumer side of this pairing.
+			if j := m.pickInactive(); j >= 0 {
+				m.pendAct[j] = true
+				cons = append([]int32{int32(j)}, cons...)
+			}
+		}
+	}
+
+	n := len(sups)
+	if len(cons) < n {
+		n = len(cons)
+	}
+	for k := 0; k < n; k++ {
+		free := m.freeGroupsOf(sups[k])
+		if len(free) == 0 {
+			continue
+		}
+		g := free[m.rng.IntN(len(free))]
+		m.issueMove(g, sups[k], cons[k])
+	}
+}
+
+// deactivateOne spreads the lightest consumer's groups over the remaining
+// active slaves and schedules its deactivation.
+func (m *masterNode) deactivateOne(cons []int32, busy map[int32]bool) {
+	if m.activeCount() <= 1 || len(cons) == 0 {
+		return
+	}
+	victim := cons[0]
+	var targets []int32
+	for i := 0; i < m.cfg.Slaves; i++ {
+		id := int32(i)
+		if m.active[i] && id != victim && !busy[id] {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	sort.SliceStable(targets, func(a, b int) bool { return m.occ[targets[a]] < m.occ[targets[b]] })
+	groups := m.freeGroupsOf(victim)
+	for k, g := range groups {
+		m.issueMove(g, victim, targets[k%len(targets)])
+	}
+	m.pendDeact[victim] = true
+}
+
+// pickInactive returns the lowest-indexed inactive slave, or -1.
+func (m *masterNode) pickInactive() int {
+	for i := 0; i < m.cfg.Slaves; i++ {
+		if !m.active[i] && !m.pendAct[i] && !m.shutdownSent[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *masterNode) issueMove(g, from, to int32) {
+	d := wire.Directive{MoveID: m.nextMove, Group: g, From: from, To: to}
+	m.nextMove++
+	m.pendDir[from] = append(m.pendDir[from], d)
+	m.pendDir[to] = append(m.pendDir[to], d)
+	m.heldGroup[g] = true
+	m.inflight[d.MoveID] = moveInfo{id: d.MoveID, group: g, from: from, to: to}
+	m.movesIssued++
+}
+
+// msOf converts a duration since start to milliseconds.
+func msOf(d time.Duration) int32 { return int32(d / time.Millisecond) }

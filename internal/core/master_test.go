@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// testMaster builds a master with no engine attachments; reorganize and its
+// helpers only touch controller state.
+func testMaster(t *testing.T, cfg Config) *masterNode {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return newMaster(&cfg, nil, nil, nil, func() bool { return false })
+}
+
+func setOcc(m *masterNode, occ ...float64) {
+	for i, o := range occ {
+		m.occ[i] = o
+		m.haveOcc[i] = true
+	}
+}
+
+func TestInitialPlacementRoundRobin(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 3
+	m := testMaster(t, cfg)
+	counts := make(map[int32]int)
+	for _, owner := range m.groupOwner {
+		counts[owner]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("owners = %v", counts)
+	}
+	for s, n := range counts {
+		if n != cfg.NumGroups()/3 {
+			t.Fatalf("slave %d owns %d groups, want %d", s, n, cfg.NumGroups()/3)
+		}
+	}
+}
+
+func TestClassificationPairsSupplierWithConsumer(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 4
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.001, 0.2, 0.002)
+	m.reorganize(9)
+	if len(m.inflight) != 1 {
+		t.Fatalf("inflight moves = %d, want 1", len(m.inflight))
+	}
+	for _, mi := range m.inflight {
+		if mi.from != 0 {
+			t.Fatalf("supplier = %d, want 0", mi.from)
+		}
+		if mi.to != 1 {
+			t.Fatalf("consumer = %d, want 1 (lowest occupancy)", mi.to)
+		}
+		if !m.heldGroup[mi.group] {
+			t.Fatal("moved group not held")
+		}
+	}
+	// Both sides must get the directive.
+	if len(m.pendDir[0]) != 1 || len(m.pendDir[1]) != 1 {
+		t.Fatalf("directives = %d/%d", len(m.pendDir[0]), len(m.pendDir[1]))
+	}
+}
+
+func TestMultipleSupplierConsumerPairs(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 4
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.8, 0.001, 0.0)
+	m.reorganize(9)
+	if len(m.inflight) != 2 {
+		t.Fatalf("inflight = %d, want 2", len(m.inflight))
+	}
+	// Heaviest supplier pairs with lightest consumer.
+	var sawHeavy bool
+	for _, mi := range m.inflight {
+		if mi.from == 0 && mi.to == 3 {
+			sawHeavy = true
+		}
+	}
+	if !sawHeavy {
+		t.Fatal("heaviest supplier not paired with lightest consumer")
+	}
+}
+
+func TestNeutralSlavesDoNotMove(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 3
+	m := testMaster(t, cfg)
+	setOcc(m, 0.3, 0.2, 0.1) // all neutral (between ThCon=0.01 and ThSup=0.5)
+	m.reorganize(9)
+	if len(m.inflight) != 0 {
+		t.Fatalf("moves issued among neutral slaves: %d", len(m.inflight))
+	}
+}
+
+func TestSupplierWithoutConsumerWaits(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 2
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.3) // supplier + neutral, no consumer
+	m.reorganize(9)
+	if len(m.inflight) != 0 {
+		t.Fatalf("move issued without consumer: %d", len(m.inflight))
+	}
+}
+
+func TestBusySlavesSitOutReorganization(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 4
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.001, 0.9, 0.001)
+	m.reorganize(9)
+	n := len(m.inflight)
+	if n == 0 {
+		t.Fatal("no moves issued")
+	}
+	// Re-running with everyone still busy must not double-issue.
+	m.reorganize(19)
+	if len(m.inflight) != n {
+		t.Fatalf("busy slaves re-paired: %d -> %d", n, len(m.inflight))
+	}
+}
+
+func TestAdaptiveShrinkWhenNoSuppliers(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 3
+	cfg.Adaptive = true
+	m := testMaster(t, cfg)
+	setOcc(m, 0.004, 0.001, 0.2)
+	m.reorganize(9)
+	if !m.pendDeact[1] {
+		t.Fatal("lightest consumer (slave 1) should be deactivated")
+	}
+	// All of slave 1's groups must be scheduled away.
+	moves := 0
+	for _, mi := range m.inflight {
+		if mi.from != 1 {
+			t.Fatalf("unexpected move source %d", mi.from)
+		}
+		if mi.to == 1 {
+			t.Fatal("move targeted the victim")
+		}
+		moves++
+	}
+	if moves != cfg.NumGroups()/3 {
+		t.Fatalf("moves = %d, want %d", moves, cfg.NumGroups()/3)
+	}
+}
+
+func TestAdaptiveNeverShrinksBelowOne(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 2
+	cfg.InitialActive = 1
+	cfg.Adaptive = true
+	m := testMaster(t, cfg)
+	setOcc(m, 0.0)
+	m.reorganize(9)
+	if m.pendDeact[0] {
+		t.Fatal("deactivated the last active slave")
+	}
+}
+
+func TestAdaptiveGrowWhenSuppliersDominate(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 4
+	cfg.InitialActive = 2
+	cfg.Adaptive = true
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.8) // two suppliers, zero consumers: Nsup > β·Ncon
+	m.reorganize(9)
+	if !m.pendAct[2] {
+		t.Fatal("expected slave 2 to be activated")
+	}
+	// The activated slave immediately serves as a consumer.
+	found := false
+	for _, mi := range m.inflight {
+		if mi.to == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("activated slave received no group")
+	}
+}
+
+func TestAdaptiveGrowRespectsBeta(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 6
+	cfg.InitialActive = 4
+	cfg.Adaptive = true
+	cfg.Beta = 0.5
+	m := testMaster(t, cfg)
+	// 1 supplier, 3 consumers: 1 > 0.5*3 is false -> no growth.
+	setOcc(m, 0.9, 0.001, 0.002, 0.003)
+	m.reorganize(9)
+	for i := range m.pendAct {
+		if m.pendAct[i] {
+			t.Fatal("activation despite Nsup <= β·Ncon")
+		}
+	}
+	if len(m.inflight) != 1 {
+		t.Fatalf("pairing should still happen: %d", len(m.inflight))
+	}
+}
+
+func TestCompleteMoveReassignsOwnership(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 2
+	m := testMaster(t, cfg)
+	setOcc(m, 0.9, 0.001)
+	m.reorganize(9)
+	var mi moveInfo
+	for _, v := range m.inflight {
+		mi = v
+	}
+	m.completeMove(mi.id)
+	if m.groupOwner[mi.group] != mi.to {
+		t.Fatal("ownership not transferred")
+	}
+	if m.heldGroup[mi.group] {
+		t.Fatal("group still held after ACK")
+	}
+	if m.movesDone != 1 {
+		t.Fatalf("movesDone = %d", m.movesDone)
+	}
+	// Unknown ACKs are ignored.
+	m.completeMove(99999)
+	if m.movesDone != 1 {
+		t.Fatal("unknown ACK changed state")
+	}
+}
+
+func TestMergeTuplesOrdersByTimestamp(t *testing.T) {
+	mk := func(ts ...int32) []tuple.Tuple {
+		var out []tuple.Tuple
+		for _, v := range ts {
+			out = append(out, tuple.Tuple{TS: v})
+		}
+		return out
+	}
+	lists := [][]tuple.Tuple{mk(1, 5, 9), mk(2, 3, 10), mk(4)}
+	got := mergeTuples(lists, 7)
+	want := []int32{1, 2, 3, 4, 5, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, w := range want {
+		if got[i].TS != w {
+			t.Fatalf("got[%d].TS = %d, want %d", i, got[i].TS, w)
+		}
+	}
+}
+
+func TestShouldServeSchedule(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Slaves = 2
+	cfg.InitialActive = 1
+	m := testMaster(t, cfg)
+	K := cfg.epochsPerReorg()
+	if !m.shouldServe(1, 0) {
+		t.Fatal("active slave must be served every epoch")
+	}
+	if m.shouldServe(1, 1) {
+		t.Fatal("inactive slave served off poll epoch")
+	}
+	if !m.shouldServe(K, 1) || !m.shouldServe(0, 1) {
+		t.Fatal("inactive slave must poll at reorg boundaries")
+	}
+}
+
+func TestIssueMoveDeliversDirectiveToBothSides(t *testing.T) {
+	cfg := smokeConfig()
+	m := testMaster(t, cfg)
+	m.issueMove(4, 0, 2)
+	want := wire.Directive{MoveID: 1, Group: 4, From: 0, To: 2}
+	if m.pendDir[0][0] != want || m.pendDir[2][0] != want {
+		t.Fatalf("directives: %+v / %+v", m.pendDir[0], m.pendDir[2])
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streamjoin/internal/des"
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
+	"streamjoin/internal/simnet"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/workload"
+)
+
+// Result is the outcome of a run: every metric reported over the
+// measurement interval (after warm-up), plus end-of-run state.
+type Result struct {
+	Config Config
+
+	// MeasuredMs is the measurement interval length.
+	MeasuredMs int32
+
+	// Delay aggregates production delays of all outputs; DelayBySlave
+	// splits them per producing slave.
+	Delay        metrics.DelayStats
+	DelayBySlave map[int32]metrics.DelayStats
+
+	// Master and Slaves are per-node resource usage over the measurement
+	// interval.
+	Master engine.Stats
+	Slaves []engine.Stats
+
+	// SlaveWindowBytes and SlaveActive are end-of-run snapshots.
+	SlaveWindowBytes []int64
+	SlaveActive      []bool
+	ActiveEnd        int
+
+	// DoDTrace records the degree of declustering at each reorganization.
+	DoDTrace []DoDSample
+
+	// MovesIssued/MovesCompleted count partition-group movements over the
+	// whole run.
+	MovesIssued    int
+	MovesCompleted int
+
+	// MasterPeakBufBytes is the peak mini-buffer occupancy at the master
+	// during the measurement interval (§V-B).
+	MasterPeakBufBytes int64
+
+	// Splits and Merges count fine-tuning operations over the whole run.
+	Splits int64
+	Merges int64
+
+	// Outputs is the number of result tuples collected during measurement.
+	Outputs int64
+
+	// EpochsServed counts master distribution epochs over the whole run.
+	EpochsServed int64
+}
+
+// MeanDelay is the average production delay over the measurement interval.
+func (r *Result) MeanDelay() time.Duration { return r.Delay.Mean() }
+
+// AggregateComm sums slave communication time over the measurement interval.
+func (r *Result) AggregateComm() time.Duration {
+	var total time.Duration
+	for i, s := range r.Slaves {
+		if r.usedSlave(i) {
+			total += s.Comm
+		}
+	}
+	return total
+}
+
+// usedSlave reports whether slave i participated at all (activity filter for
+// per-node statistics under adaptive declustering).
+func (r *Result) usedSlave(i int) bool {
+	return r.Slaves[i].MsgsSent > 0 || r.Slaves[i].MsgsRecv > 0
+}
+
+// CommSummary summarizes per-slave communication time (min/avg/max over the
+// slaves that participated), as plotted in Figure 12.
+func (r *Result) CommSummary() metrics.Summary {
+	var sum metrics.Summary
+	for i, s := range r.Slaves {
+		if r.usedSlave(i) {
+			sum.Observe(s.Comm.Seconds())
+		}
+	}
+	return sum
+}
+
+// AvgSlaveCPU averages CPU time over participating slaves.
+func (r *Result) AvgSlaveCPU() time.Duration {
+	var total time.Duration
+	n := 0
+	for i, s := range r.Slaves {
+		if r.usedSlave(i) {
+			total += s.CPU
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// AvgSlaveIdle averages idle time over participating slaves.
+func (r *Result) AvgSlaveIdle() time.Duration {
+	var total time.Duration
+	n := 0
+	for i, s := range r.Slaves {
+		if r.usedSlave(i) {
+			total += s.Idle
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// MaxWindowBytes is the largest per-slave window state at end of run.
+func (r *Result) MaxWindowBytes() int64 {
+	var m int64
+	for _, b := range r.SlaveWindowBytes {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// simIngestor feeds the master from two synthetic Poisson sources, applying
+// the configured rate schedule at step boundaries.
+type simIngestor struct {
+	s1, s2   *workload.Source
+	schedule []RateStep
+	lastMs   int32
+}
+
+func newSimIngestor(cfg *Config) *simIngestor {
+	s1, s2 := workload.Pair(workload.Config{
+		Rate:   cfg.Rate,
+		Skew:   cfg.Skew,
+		Domain: cfg.Domain,
+		Seed:   cfg.Seed,
+	})
+	return &simIngestor{s1: s1, s2: s2, schedule: cfg.RateSchedule}
+}
+
+// Pull implements Ingestor.
+func (in *simIngestor) Pull(uptoMs int32) []tuple.Tuple {
+	if uptoMs <= in.lastMs {
+		return nil
+	}
+	var out []tuple.Tuple
+	for len(in.schedule) > 0 && in.schedule[0].AtMs < uptoMs {
+		step := in.schedule[0]
+		in.schedule = in.schedule[1:]
+		if step.AtMs > in.lastMs {
+			out = append(out, in.pull(step.AtMs)...)
+		}
+		in.s1.SetRate(step.Rate)
+		in.s2.SetRate(step.Rate)
+	}
+	return append(out, in.pull(uptoMs)...)
+}
+
+func (in *simIngestor) pull(uptoMs int32) []tuple.Tuple {
+	b1 := in.s1.Batch(in.lastMs, uptoMs)
+	b2 := in.s2.Batch(in.lastMs, uptoMs)
+	in.lastMs = uptoMs
+	return workload.Merge(b1, b2)
+}
+
+// RunSim executes the full system on the simulated cluster and returns the
+// measured Result. It is deterministic for a given Config.
+func RunSim(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The simulation requires the indexed prober (virtual CPU is charged
+	// from the modeled scan length) and exact expiry (byte-precise window
+	// accounting).
+	cfg.Mode = join.ModeIndexed
+	cfg.Expiry = join.ExpiryExact
+
+	env := des.NewEnv()
+	net := simnet.New(env, cfg.Net)
+
+	masterNd := net.NewNode("master")
+	collNd := net.NewNode("collector")
+	slaveNds := make([]*simnet.Node, cfg.Slaves)
+	for i := range slaveNds {
+		slaveNds[i] = net.NewNode(fmt.Sprintf("slave%d", i))
+	}
+
+	// Master <-> slave connections.
+	mConns := make([]engine.Conn, cfg.Slaves)
+	sConns := make([]engine.Conn, cfg.Slaves)
+	for i, nd := range slaveNds {
+		em, es := simnet.Connect(masterNd, nd)
+		mConns[i] = engine.WrapEndpoint(em)
+		sConns[i] = engine.WrapEndpoint(es)
+	}
+	// Slave mesh for state movement.
+	mesh := make([][]engine.Conn, cfg.Slaves)
+	for i := range mesh {
+		mesh[i] = make([]engine.Conn, cfg.Slaves)
+	}
+	for i := 0; i < cfg.Slaves; i++ {
+		for j := i + 1; j < cfg.Slaves; j++ {
+			ei, ej := simnet.Connect(slaveNds[i], slaveNds[j])
+			mesh[i][j] = engine.WrapEndpoint(ei)
+			mesh[j][i] = engine.WrapEndpoint(ej)
+		}
+	}
+	inbox := engine.WrapInbox(simnet.NewInbox(collNd))
+
+	neverStop := func() bool { return false }
+	master := newMaster(&cfg, engine.WrapNode(masterNd), mConns, newSimIngestor(&cfg), neverStop)
+	collector := newCollector(engine.WrapNode(collNd), inbox, neverStop)
+	slaves := make([]*slaveNode, cfg.Slaves)
+	for i := range slaves {
+		slaves[i] = newSlave(&cfg, int32(i), engine.WrapNode(slaveNds[i]), sConns[i],
+			mesh[i], engine.NewSimAsyncSender(slaveNds[i], inbox))
+	}
+
+	masterNd.Start(func(*simnet.Node) { master.run() })
+	collNd.Start(func(*simnet.Node) { collector.run() })
+	for i, nd := range slaveNds {
+		s := slaves[i]
+		nd.Start(func(*simnet.Node) { s.run() })
+	}
+
+	// Warm-up monitor: snapshot node stats and reset the collector at the
+	// warm-up boundary so every reported metric covers only the
+	// measurement interval.
+	var warmMaster engine.Stats
+	warmSlaves := make([]engine.Stats, cfg.Slaves)
+	monitorNd := net.NewNode("monitor")
+	monitorNd.Start(func(nd *simnet.Node) {
+		nd.IdleUntil(time.Duration(cfg.WarmupMs) * time.Millisecond)
+		warmMaster = engine.WrapNode(masterNd).Stats()
+		for i, snd := range slaveNds {
+			warmSlaves[i] = engine.WrapNode(snd).Stats()
+		}
+		collector.Reset()
+		master.peakBuf = master.bufBytes
+	})
+
+	horizon := des.Time(cfg.DurationMs) * des.Time(time.Millisecond)
+	if _, err := env.RunUntil(horizon); err != nil {
+		env.Kill()
+		return nil, err
+	}
+	env.Kill()
+
+	// Distinguish a protocol deadlock from backpressure: under saturation
+	// epochs slip (the master blocks on late slaves) but keep completing;
+	// a deadlock freezes epoch progress entirely.
+	expected := int64(cfg.DurationMs/cfg.DistEpochMs) - 1
+	horizonDur := time.Duration(cfg.DurationMs) * time.Millisecond
+	if master.epochsServed < expected && horizonDur-master.lastEpochAt > horizonDur/4 {
+		return nil, fmt.Errorf("core: run deadlocked after %d of %d epochs (last progress at %v)",
+			master.epochsServed, expected, master.lastEpochAt)
+	}
+
+	res := &Result{
+		Config:             cfg,
+		MeasuredMs:         cfg.DurationMs - cfg.WarmupMs,
+		Master:             engine.WrapNode(masterNd).Stats().Sub(warmMaster),
+		Slaves:             make([]engine.Stats, cfg.Slaves),
+		SlaveWindowBytes:   make([]int64, cfg.Slaves),
+		SlaveActive:        make([]bool, cfg.Slaves),
+		DoDTrace:           master.dodTrace,
+		MovesIssued:        master.movesIssued,
+		MovesCompleted:     master.movesDone,
+		MasterPeakBufBytes: master.peakBuf,
+		EpochsServed:       master.epochsServed,
+	}
+	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Outputs = res.Delay.Count
+	for i := range slaves {
+		res.Slaves[i] = engine.WrapNode(slaveNds[i]).Stats().Sub(warmSlaves[i])
+		res.SlaveWindowBytes[i] = slaves[i].mod.WindowBytes()
+		res.SlaveActive[i] = master.active[i]
+		if master.active[i] {
+			res.ActiveEnd++
+		}
+		res.Splits += slaves[i].mod.Splits()
+		res.Merges += slaves[i].mod.Merges()
+	}
+	return res, nil
+}

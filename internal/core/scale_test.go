@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaperScalePoint runs one full Table-I-scale configuration (10-minute
+// window, 20-minute run) to keep the experiment harness honest about
+// wall-clock cost and memory. Skipped in -short mode.
+func TestPaperScalePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale point")
+	}
+	cfg := DefaultConfig()
+	cfg.Rate = 3000
+	cfg.Slaves = 4
+	start := time.Now()
+	res, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.CommSummary()
+	t.Logf("wall=%v outputs=%d meanDelay=%v cpu=%v idle=%v comm(min/avg/max)=%.1f/%.1f/%.1f s",
+		time.Since(start), res.Outputs, res.MeanDelay(),
+		res.AvgSlaveCPU(), res.AvgSlaveIdle(),
+		sum.Min, sum.Mean(), sum.Max)
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// slaveNode runs the join module over the partition-groups assigned to it:
+// each distribution epoch it reports its load, receives a tuple batch,
+// executes any movement directives (as supplier or consumer), then processes
+// its backlog in chunked rounds until the next epoch boundary.
+type slaveNode struct {
+	cfg  *Config
+	id   int32
+	proc engine.Proc
+	mst  engine.Conn
+	peer []engine.Conn // by slave id; peer[id] == nil
+	coll engine.AsyncSender
+
+	mod      *join.Module
+	input    map[int32][]tuple.Tuple // backlog per group
+	backlog  int64                   // tuples
+	cursor   int                     // round-robin start for fairness
+	curChunk int                     // adaptive round size (tuples)
+
+	occSum float64
+	occN   int
+
+	rb   *wire.ResultBatch
+	acks []int64
+
+	active bool
+
+	// instrumentation
+	outputs     int64
+	roundsRun   int64
+	movesServed int64
+}
+
+func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []engine.Conn, coll engine.AsyncSender) *slaveNode {
+	active := int(id) < cfg.initialActive()
+	return &slaveNode{
+		cfg:      cfg,
+		id:       id,
+		proc:     proc,
+		mst:      mst,
+		peer:     peers,
+		coll:     coll,
+		mod:      join.New(cfg.joinConfig()),
+		input:    make(map[int32][]tuple.Tuple),
+		rb:       &wire.ResultBatch{Slave: id},
+		active:   active,
+		curChunk: cfg.ChunkTuples,
+	}
+}
+
+// run is the slave process body.
+func (s *slaveNode) run() {
+	td := time.Duration(s.cfg.DistEpochMs) * time.Millisecond
+	slotOff := s.cfg.slotOffset(int(s.id))
+	K := s.cfg.epochsPerReorg()
+
+	e := int64(0)
+	for {
+		epochStart := time.Duration(e) * td
+		s.proc.IdleUntil(epochStart + slotOff)
+
+		// End-of-epoch occupancy sample (§IV-C): backlog bytes over the
+		// allotted buffer, averaged over the reorganization interval.
+		occ := float64(s.backlog*tuple.LogicalSize) / float64(s.cfg.SlaveBufBytes)
+		if bound := s.cfg.memBound(s.id); bound > 0 {
+			if memOcc := float64(s.mod.WindowBytes()) / float64(bound); memOcc > occ {
+				occ = memOcc
+			}
+		}
+		if occ > 1 {
+			occ = 1
+		}
+		s.occSum += occ
+		s.occN++
+
+		// Flush the previous epoch's results to the collector.
+		s.flushResults()
+
+		avg := 0.0
+		if s.occN > 0 {
+			avg = s.occSum / float64(s.occN)
+		}
+		s.mst.Send(&wire.Hello{
+			Slave:        s.id,
+			Epoch:        e,
+			Active:       s.active,
+			Occupancy:    avg,
+			WindowBytes:  s.mod.WindowBytes(),
+			BacklogBytes: s.backlog * tuple.LogicalSize,
+			MoveACKs:     s.acks,
+		})
+		s.acks = nil
+		if e%K == 0 {
+			// Reorganization boundary: restart the averaging window.
+			s.occSum, s.occN = 0, 0
+		}
+
+		batch, ok := s.mst.Recv().(*wire.Batch)
+		if !ok {
+			panic(fmt.Sprintf("core: slave %d expected Batch", s.id))
+		}
+		if batch.Activate {
+			s.active = true
+		}
+		s.handleDirectives(batch.Directives)
+		for _, t := range batch.Tuples {
+			g := s.cfg.GroupOfKey(t.Key)
+			s.input[g] = append(s.input[g], t)
+		}
+		s.backlog += int64(len(batch.Tuples))
+		if batch.Deactivate {
+			s.active = false
+		}
+		if batch.Shutdown {
+			s.flushResults()
+			return
+		}
+
+		// Process until the next participation point.
+		var next int64
+		if s.active {
+			next = e + 1
+		} else {
+			next = (e/K + 1) * K
+		}
+		deadline := time.Duration(next)*td + slotOff
+		s.processBacklog(deadline)
+		e = next
+	}
+}
+
+// handleDirectives executes movement orders in MoveID order, acting as
+// supplier (extract and send state) or consumer (receive and install).
+func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
+	if len(dirs) == 0 {
+		return
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].MoveID < dirs[j].MoveID })
+	for _, d := range dirs {
+		switch {
+		case d.From == s.id:
+			s.supplyGroup(d)
+		case d.To == s.id:
+			s.consumeGroup(d)
+		default:
+			panic(fmt.Sprintf("core: slave %d got foreign directive %+v", s.id, d))
+		}
+		s.movesServed++
+	}
+}
+
+func (s *slaveNode) supplyGroup(d wire.Directive) {
+	s.mod.Ensure(d.Group)
+	g, _ := s.mod.Remove(d.Group)
+	st := g.Extract()
+	pending := s.input[d.Group]
+	delete(s.input, d.Group)
+	s.backlog -= int64(len(pending))
+	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(pending)))
+	s.peer[d.To].Send(st.ToWire(d.MoveID, pending))
+}
+
+func (s *slaveNode) consumeGroup(d wire.Directive) {
+	msg, ok := s.peer[d.From].Recv().(*wire.StateTransfer)
+	if !ok {
+		panic(fmt.Sprintf("core: slave %d expected StateTransfer from %d", s.id, d.From))
+	}
+	if msg.MoveID != d.MoveID || msg.Group != d.Group {
+		panic(fmt.Sprintf("core: slave %d: transfer %d/%d does not match directive %+v",
+			s.id, msg.MoveID, msg.Group, d))
+	}
+	st := join.StateFromWire(msg)
+	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(msg.Pending)))
+	if err := s.mod.Install(st); err != nil {
+		panic(err)
+	}
+	if len(msg.Pending) > 0 {
+		s.input[d.Group] = append(s.input[d.Group], msg.Pending...)
+		s.backlog += int64(len(msg.Pending))
+	}
+	s.acks = append(s.acks, d.MoveID)
+}
+
+// processBacklog runs chunked join rounds until the backlog drains or the
+// deadline passes. The first sweep visits every owned group (so expiration
+// advances even without input); later sweeps only groups with pending input.
+// The sweep start rotates across calls so no group starves under overload.
+func (s *slaveNode) processBacklog(deadline time.Duration) {
+	first := true
+	for {
+		ids := s.groupList(first)
+		if len(ids) == 0 {
+			return
+		}
+		if s.cursor >= len(ids) {
+			s.cursor = 0
+		}
+		progressed := false
+		for k := 0; k < len(ids); k++ {
+			g := ids[(k+s.cursor)%len(ids)]
+			chunk := s.takeChunk(g)
+			if len(chunk) > 0 {
+				progressed = true
+			} else if !first {
+				continue
+			}
+			s.runRound(g, chunk)
+			if s.proc.Now() >= deadline {
+				s.cursor = (s.cursor + k + 1) % len(ids)
+				return
+			}
+		}
+		first = false
+		if !progressed && s.backlog == 0 {
+			return
+		}
+	}
+}
+
+// groupList returns the groups to visit this sweep in ascending order:
+// all owned groups plus groups with queued input (first sweep), or only
+// groups with queued input.
+func (s *slaveNode) groupList(all bool) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	if all {
+		for _, id := range s.mod.IDs() {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for id, q := range s.input {
+		if len(q) > 0 && !seen[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *slaveNode) takeChunk(g int32) []tuple.Tuple {
+	q := s.input[g]
+	if len(q) == 0 {
+		return nil
+	}
+	n := s.curChunk
+	if n > len(q) {
+		n = len(q)
+	}
+	chunk := q[:n]
+	if n == len(q) {
+		delete(s.input, g)
+	} else {
+		s.input[g] = q[n:]
+	}
+	s.backlog -= int64(n)
+	return chunk
+}
+
+// runRound processes one chunk for one group, charges the modeled CPU cost
+// (dilated by the node's background load), and records the production delays
+// of the outputs.
+func (s *slaveNode) runRound(g int32, chunk []tuple.Tuple) {
+	res := s.mod.Process(g, msOf(s.proc.Now()), chunk)
+	cpu := time.Duration(float64(s.cfg.Cost.Round(res)) * s.cfg.slowdown(s.id))
+	s.proc.Compute(cpu)
+	s.roundsRun++
+	// Self-clocking round size: keep one round well under an epoch so the
+	// slave stays responsive to the fixed communication schedule even when
+	// per-probe scans are expensive (no fine tuning, saturated windows).
+	td := time.Duration(s.cfg.DistEpochMs) * time.Millisecond
+	if len(chunk) > 0 {
+		switch {
+		case cpu > td/2 && s.curChunk > 64:
+			s.curChunk /= 2
+		case cpu < td/16 && s.curChunk < s.cfg.ChunkTuples:
+			s.curChunk *= 2
+		}
+	}
+	if res.Outputs == 0 {
+		return
+	}
+	doneMs := msOf(s.proc.Now())
+	for _, match := range res.Matches {
+		delay := doneMs - match.TS
+		if delay < 0 {
+			delay = 0
+		}
+		s.addDelay(delay, match.N)
+	}
+	s.outputs += res.Outputs
+}
+
+func (s *slaveNode) addDelay(delayMs int32, n int64) {
+	rb := s.rb
+	if rb.Outputs == 0 || delayMs < rb.DelayMinMs {
+		rb.DelayMinMs = delayMs
+	}
+	if rb.Outputs == 0 || delayMs > rb.DelayMaxMs {
+		rb.DelayMaxMs = delayMs
+	}
+	rb.Outputs += n
+	rb.DelaySumMs += int64(delayMs) * n
+	rb.Hist[metrics.BucketFor(delayMs)] += n
+}
+
+func (s *slaveNode) flushResults() {
+	if s.rb.Outputs == 0 {
+		return
+	}
+	s.coll.SendAsync(s.rb)
+	s.rb = &wire.ResultBatch{Slave: s.id}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// smokeConfig is a small, fast configuration used across core tests.
+func smokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Slaves = 3
+	cfg.Rate = 400
+	cfg.WindowMs = 30_000 // 30 s window
+	cfg.DistEpochMs = 500
+	cfg.ReorgEpochMs = 5_000
+	cfg.DurationMs = 60_000
+	cfg.WarmupMs = 30_000
+	cfg.Theta = 64 * 1024
+	cfg.Domain = 100_000
+	return cfg
+}
+
+func TestRunSimSmoke(t *testing.T) {
+	res, err := RunSim(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 {
+		t.Fatal("no outputs collected")
+	}
+	if res.MeanDelay() <= 0 {
+		t.Fatal("no delay measured")
+	}
+	if res.MeanDelay() > 5*time.Second {
+		t.Fatalf("mean delay %v implausibly high for an underloaded system", res.MeanDelay())
+	}
+	if res.EpochsServed < 100 {
+		t.Fatalf("epochs served = %d", res.EpochsServed)
+	}
+	t.Logf("outputs=%d meanDelay=%v epochs=%d", res.Outputs, res.MeanDelay(), res.EpochsServed)
+	for i, s := range res.Slaves {
+		t.Logf("slave%d: cpu=%v idle=%v comm=%v recv=%dB", i, s.CPU, s.Idle, s.Comm, s.BytesRecv)
+	}
+}

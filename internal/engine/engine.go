@@ -1,0 +1,84 @@
+// Package engine abstracts the execution substrate so the master, slave and
+// collector protocol code runs unchanged on two engines:
+//
+//   - the simulated engine (a thin adapter over simnet/des), where time is
+//     virtual, Compute advances the clock by a modeled cost, and connections
+//     carry messages by reference while charging their logical wire size; and
+//   - the live engine, where processes are goroutines, time is wall-clock,
+//     and connections are in-process rendezvous channels or real TCP streams
+//     framed with the wire codec.
+//
+// Both engines account the same statistics: communication time (blocked in
+// Send/Recv), idle time (explicit epoch waits), CPU (modeled cost), and
+// byte/message counters.
+package engine
+
+import (
+	"time"
+
+	"streamjoin/internal/wire"
+)
+
+// Stats aggregates a process's resource usage.
+type Stats struct {
+	Comm      time.Duration
+	Idle      time.Duration
+	CPU       time.Duration
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// Sub returns s minus t field-by-field (measurement-interval isolation).
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Comm:      s.Comm - t.Comm,
+		Idle:      s.Idle - t.Idle,
+		CPU:       s.CPU - t.CPU,
+		BytesSent: s.BytesSent - t.BytesSent,
+		BytesRecv: s.BytesRecv - t.BytesRecv,
+		MsgsSent:  s.MsgsSent - t.MsgsSent,
+		MsgsRecv:  s.MsgsRecv - t.MsgsRecv,
+	}
+}
+
+// Proc is a single-threaded execution context (one node's process).
+type Proc interface {
+	// Name identifies the process (diagnostics).
+	Name() string
+	// Now is the time since the run started.
+	Now() time.Duration
+	// Idle suspends the process for d, accounted as idle time.
+	Idle(d time.Duration)
+	// IdleUntil suspends until time t since start, accounted as idle time.
+	IdleUntil(t time.Duration)
+	// Compute charges d of modeled CPU cost. The simulated engine advances
+	// the virtual clock; the live engine only accounts (the real work has
+	// already consumed wall time).
+	Compute(d time.Duration)
+	// Stats returns a snapshot of accumulated usage.
+	Stats() Stats
+}
+
+// Conn is a blocking bidirectional connection in the style of MPI
+// send/receive over a persistent link: Send does not complete before the
+// peer's Recv pairs with it.
+type Conn interface {
+	Send(m wire.Message)
+	Recv() wire.Message
+}
+
+// Inbox is an asynchronous many-to-one receive queue (the collector path).
+type Inbox interface {
+	// Recv blocks until a message arrives.
+	Recv() wire.Message
+	// RecvBefore blocks until a message arrives or the absolute time
+	// deadline (since run start) passes.
+	RecvBefore(deadline time.Duration) (wire.Message, bool)
+}
+
+// AsyncSender posts messages to an Inbox without waiting for the receiver.
+type AsyncSender interface {
+	SendAsync(m wire.Message)
+}

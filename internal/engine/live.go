@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"streamjoin/internal/wire"
+)
+
+// LiveEnv anchors wall-clock time for a set of live processes.
+type LiveEnv struct {
+	start time.Time
+}
+
+// NewLiveEnv returns an environment whose clock starts now.
+func NewLiveEnv() *LiveEnv { return &LiveEnv{start: time.Now()} }
+
+// Now reports the time since the environment started.
+func (e *LiveEnv) Now() time.Duration { return time.Since(e.start) }
+
+// LiveProc is a goroutine-backed Proc. Stats are mutex-guarded because
+// monitors read them from other goroutines.
+type LiveProc struct {
+	env  *LiveEnv
+	name string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewProc creates a live process context; the caller runs the protocol code
+// on its own goroutine.
+func (e *LiveEnv) NewProc(name string) *LiveProc {
+	return &LiveProc{env: e, name: name}
+}
+
+// Name implements Proc.
+func (p *LiveProc) Name() string { return p.name }
+
+// Now implements Proc.
+func (p *LiveProc) Now() time.Duration { return p.env.Now() }
+
+// Idle implements Proc.
+func (p *LiveProc) Idle(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+	p.mu.Lock()
+	p.stats.Idle += d
+	p.mu.Unlock()
+}
+
+// IdleUntil implements Proc.
+func (p *LiveProc) IdleUntil(t time.Duration) { p.Idle(t - p.Now()) }
+
+// Compute implements Proc: live work has already consumed wall time, so the
+// modeled cost is only accounted.
+func (p *LiveProc) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.stats.CPU += d
+	p.mu.Unlock()
+}
+
+// Stats implements Proc.
+func (p *LiveProc) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *LiveProc) addComm(d time.Duration, sentB, recvB int64, sent, recv int64) {
+	p.mu.Lock()
+	p.stats.Comm += d
+	p.stats.BytesSent += sentB
+	p.stats.BytesRecv += recvB
+	p.stats.MsgsSent += sent
+	p.stats.MsgsRecv += recv
+	p.mu.Unlock()
+}
+
+// pipeConn is one end of an in-process rendezvous connection: unbuffered
+// channels give MPI-like blocking semantics.
+type pipeConn struct {
+	p    *LiveProc
+	send chan<- wire.Message
+	recv <-chan wire.Message
+}
+
+// Pipe connects two live processes with an in-process bidirectional
+// rendezvous connection.
+func Pipe(a, b *LiveProc) (Conn, Conn) {
+	ab := make(chan wire.Message)
+	ba := make(chan wire.Message)
+	return &pipeConn{p: a, send: ab, recv: ba},
+		&pipeConn{p: b, send: ba, recv: ab}
+}
+
+// Send implements Conn.
+func (c *pipeConn) Send(m wire.Message) {
+	t0 := c.p.Now()
+	c.send <- m
+	c.p.addComm(c.p.Now()-t0, m.WireSize(), 0, 1, 0)
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() wire.Message {
+	t0 := c.p.Now()
+	m := <-c.recv
+	c.p.addComm(c.p.Now()-t0, 0, m.WireSize(), 0, 1)
+	return m
+}
+
+// TCPError wraps an I/O failure on a live TCP connection. The Conn interface
+// is error-free (matching the blocking MPI model), so TCP adapters panic
+// with a TCPError; node loops in the live binaries recover it and shut the
+// node down.
+type TCPError struct {
+	Op  string
+	Err error
+}
+
+func (e *TCPError) Error() string { return fmt.Sprintf("tcp %s: %v", e.Op, e.Err) }
+
+func (e *TCPError) Unwrap() error { return e.Err }
+
+// tcpConn frames wire messages over a net.Conn.
+type tcpConn struct {
+	p *LiveProc
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// WrapTCP adapts a net.Conn for live cluster deployment.
+func WrapTCP(p *LiveProc, c net.Conn) Conn {
+	return &tcpConn{p: p, c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// Rebind returns the same TCP connection accounting to a different process
+// (used when a deployment re-anchors its clock after setup).
+func (c *tcpConn) Rebind(p *LiveProc) Conn {
+	return &tcpConn{p: p, c: c.c, r: c.r, w: c.w}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m wire.Message) {
+	t0 := c.p.Now()
+	if err := wire.WriteFrame(c.w, m); err != nil {
+		panic(&TCPError{Op: "send", Err: err})
+	}
+	if err := c.w.Flush(); err != nil {
+		panic(&TCPError{Op: "flush", Err: err})
+	}
+	c.p.addComm(c.p.Now()-t0, m.WireSize(), 0, 1, 0)
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() wire.Message {
+	t0 := c.p.Now()
+	m, err := wire.ReadFrame(c.r)
+	if err != nil {
+		panic(&TCPError{Op: "recv", Err: err})
+	}
+	c.p.addComm(c.p.Now()-t0, 0, m.WireSize(), 0, 1)
+	return m
+}
+
+// LiveInbox is a buffered asynchronous queue for the collector path.
+type LiveInbox struct {
+	p  *LiveProc
+	ch chan wire.Message
+}
+
+// NewLiveInbox returns an inbox owned by p.
+func NewLiveInbox(p *LiveProc, capacity int) *LiveInbox {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &LiveInbox{p: p, ch: make(chan wire.Message, capacity)}
+}
+
+// Recv implements Inbox.
+func (b *LiveInbox) Recv() wire.Message {
+	t0 := b.p.Now()
+	m := <-b.ch
+	b.p.mu.Lock()
+	b.p.stats.Idle += b.p.Now() - t0
+	b.p.stats.BytesRecv += m.WireSize()
+	b.p.stats.MsgsRecv++
+	b.p.mu.Unlock()
+	return m
+}
+
+// RecvBefore implements Inbox.
+func (b *LiveInbox) RecvBefore(deadline time.Duration) (wire.Message, bool) {
+	t0 := b.p.Now()
+	wait := deadline - t0
+	if wait < 0 {
+		wait = 0
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case m := <-b.ch:
+		b.p.mu.Lock()
+		b.p.stats.Idle += b.p.Now() - t0
+		b.p.stats.BytesRecv += m.WireSize()
+		b.p.stats.MsgsRecv++
+		b.p.mu.Unlock()
+		return m, true
+	case <-timer.C:
+		b.p.mu.Lock()
+		b.p.stats.Idle += b.p.Now() - t0
+		b.p.mu.Unlock()
+		return nil, false
+	}
+}
+
+// LiveAsyncSender posts from a live process to a LiveInbox.
+type LiveAsyncSender struct {
+	p  *LiveProc
+	ib *LiveInbox
+}
+
+// NewLiveAsyncSender returns an async sender from p to ib.
+func NewLiveAsyncSender(p *LiveProc, ib *LiveInbox) *LiveAsyncSender {
+	return &LiveAsyncSender{p: p, ib: ib}
+}
+
+// SendAsync implements AsyncSender: it blocks only when the inbox is full.
+func (s *LiveAsyncSender) SendAsync(m wire.Message) {
+	t0 := s.p.Now()
+	s.ib.ch <- m
+	s.p.addComm(s.p.Now()-t0, m.WireSize(), 0, 1, 0)
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"streamjoin/internal/core"
+)
+
+// tinyOptions shrink runs far below Quick scale so the unit tests stay fast;
+// the real sweeps run in the benchmark harness.
+func tinyOptions() *Options {
+	return &Options{Scale: Quick, Seed: 1}
+}
+
+// tinyBase produces a miniature base config by reaching through Options.
+func tinyBase(o *Options) core.Config {
+	cfg := o.base()
+	cfg.WindowMs = 20_000
+	cfg.DurationMs = 60_000
+	cfg.WarmupMs = 30_000
+	cfg.DistEpochMs = 1000
+	cfg.ReorgEpochMs = 10_000
+	return cfg
+}
+
+func TestRunCacheDeduplicates(t *testing.T) {
+	o := tinyOptions()
+	cfg := tinyBase(o)
+	cfg.Rate = 300
+	a, err := o.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configs were re-run instead of cached")
+	}
+	cfg.Rate = 400
+	c, err := o.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different configs shared a cache entry")
+	}
+}
+
+func TestFigureTableFormat(t *testing.T) {
+	f := &Figure{
+		ID:     "figX",
+		Title:  "test",
+		XLabel: "rate",
+		YLabel: "delay",
+		Series: []string{"a", "b"},
+		Points: []Point{
+			{X: 100, Values: map[string]float64{"a": 1.5}},
+			{X: 200, Values: map[string]float64{"a": 2.5, "b": 3.5}},
+		},
+	}
+	tbl := f.Table()
+	if !strings.Contains(tbl, "# figX — test") {
+		t.Fatalf("missing header: %s", tbl)
+	}
+	lines := strings.Split(strings.TrimSpace(tbl), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), tbl)
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Fatal("missing value should render as '-'")
+	}
+	if v, ok := f.Value(200, "b"); !ok || v != 3.5 {
+		t.Fatal("Value lookup")
+	}
+	if _, ok := f.Value(999, "a"); ok {
+		t.Fatal("Value at absent x")
+	}
+}
+
+func TestAllGeneratorsListed(t *testing.T) {
+	gens := All()
+	if len(gens) != 10 {
+		t.Fatalf("generators = %d, want 10 (figures 5-14)", len(gens))
+	}
+	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	for i, g := range gens {
+		if g.ID != want[i] {
+			t.Fatalf("gens[%d] = %s", i, g.ID)
+		}
+		if g.Gen == nil || g.Title == "" {
+			t.Fatalf("generator %s incomplete", g.ID)
+		}
+	}
+	if _, ok := ByID("fig12"); !ok {
+		t.Fatal("ByID")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted junk")
+	}
+}
+
+func TestTableIContainsPaperDefaults(t *testing.T) {
+	tbl := TableI()
+	for _, want := range []string{"10 min", "1500 tuples/sec", "0.7", "1.5 MB", "4 KB", "2 sec", "20 sec", "60"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestSeqInclusive(t *testing.T) {
+	s := seq(1000, 3500, 500)
+	if len(s) != 6 || s[0] != 1000 || s[5] != 3500 {
+		t.Fatalf("seq = %v", s)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Full.String() != "full" || Quick.String() != "quick" {
+		t.Fatal("scale names")
+	}
+}

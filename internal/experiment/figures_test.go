@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure13TinyEndToEnd exercises one full figure generator at the Tiny
+// scale, asserting the paper's qualitative shape: production delay grows
+// with the distribution epoch (Fig. 13).
+func TestFigure13TinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	o := &Options{Scale: Tiny, Seed: 1}
+	f, err := Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 3 {
+		t.Fatalf("tiny sweep points = %d, want 3", len(f.Points))
+	}
+	first := f.Points[0].Values["delay"]
+	last := f.Points[len(f.Points)-1].Values["delay"]
+	if !(first < last) {
+		t.Fatalf("delay should grow with t_d: %v ... %v", first, last)
+	}
+	if !strings.Contains(f.Table(), "t_d (sec)") {
+		t.Fatal("table labels")
+	}
+}
+
+// TestFigure11TinyShape checks Fig. 11's qualitative claims at Tiny scale:
+// aggregate communication grows with the node count while per-node
+// communication falls, and the adaptive system (which shrinks its DoD at
+// the default rate) stays below the non-adaptive aggregate for large N.
+func TestFigure11TinyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	o := &Options{Scale: Tiny, Seed: 1}
+	f, err := Figure11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg1, _ := f.Value(1, "aggregate")
+	agg5, _ := f.Value(5, "aggregate")
+	if !(agg5 > agg1) {
+		t.Fatalf("aggregate comm should grow with nodes: %v -> %v", agg1, agg5)
+	}
+	// Note: the paper's monotonically falling per-node curve is only
+	// partially reproduced (EXPERIMENTS.md discusses why: our per-node
+	// communication includes the serial-order synchronization wait, which
+	// grows with N); the test pins the two claims our model does make.
+	ad5, _ := f.Value(5, "adaptive aggregate")
+	if !(ad5 < agg5) {
+		t.Fatalf("adaptive aggregate %v should undercut non-adaptive %v at 5 nodes", ad5, agg5)
+	}
+}

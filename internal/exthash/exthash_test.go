@@ -1,0 +1,302 @@
+package exthash
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// intBucket is a simple test bucket: a set of hashes.
+type intBucket struct {
+	hashes []uint64
+}
+
+func splitBucket(old *intBucket, bit uint) (*intBucket, *intBucket) {
+	zero, one := &intBucket{}, &intBucket{}
+	for _, h := range old.hashes {
+		if (h>>bit)&1 == 0 {
+			zero.hashes = append(zero.hashes, h)
+		} else {
+			one.hashes = append(one.hashes, h)
+		}
+	}
+	return zero, one
+}
+
+func mergeBuckets(a, b *intBucket) *intBucket {
+	return &intBucket{hashes: append(append([]uint64{}, a.hashes...), b.hashes...)}
+}
+
+func TestNewDirectory(t *testing.T) {
+	d := New(&intBucket{})
+	if d.GlobalDepth() != 0 || d.NumSlots() != 1 || d.NumBuckets() != 1 {
+		t.Fatalf("fresh dir: depth=%d slots=%d buckets=%d", d.GlobalDepth(), d.NumSlots(), d.NumBuckets())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDoublesWhenLocalEqualsGlobal(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3}})
+	ok := d.Split(0, splitBucket)
+	if !ok {
+		t.Fatal("split refused")
+	}
+	if d.GlobalDepth() != 1 || d.NumSlots() != 2 || d.NumBuckets() != 2 {
+		t.Fatalf("after split: depth=%d slots=%d buckets=%d", d.GlobalDepth(), d.NumSlots(), d.NumBuckets())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hashes must have been routed by bit 0.
+	b0 := d.Lookup(0)
+	b1 := d.Lookup(1)
+	if !reflect.DeepEqual(b0.hashes, []uint64{0, 2}) || !reflect.DeepEqual(b1.hashes, []uint64{1, 3}) {
+		t.Fatalf("routing: b0=%v b1=%v", b0.hashes, b1.hashes)
+	}
+}
+
+func TestSplitWithoutDoubling(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3}})
+	d.Split(0, splitBucket) // global 0 -> 1
+	d.Split(0, splitBucket) // splits bucket 0 (bit 1), global -> 2
+	if d.GlobalDepth() != 2 || d.NumBuckets() != 3 {
+		t.Fatalf("depth=%d buckets=%d", d.GlobalDepth(), d.NumBuckets())
+	}
+	// Bucket holding odd hashes still has local depth 1.
+	if d.LocalDepth(1) != 1 {
+		t.Fatalf("odd bucket local depth = %d", d.LocalDepth(1))
+	}
+	// Splitting the odd bucket now must not double the directory.
+	slots := d.NumSlots()
+	d.Split(1, splitBucket)
+	if d.NumSlots() != slots {
+		t.Fatal("directory doubled needlessly")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupRoutesByLowBits(t *testing.T) {
+	d := New(&intBucket{})
+	for i := 0; i < 3; i++ {
+		d.Buckets(func(bits uint32, local uint, b *intBucket) {})
+		d.Split(uint64(i), splitBucket)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All hashes agreeing on global-depth low bits land in the same bucket.
+	g := d.GlobalDepth()
+	for h := uint64(0); h < 1<<g; h++ {
+		b1 := d.Lookup(h)
+		b2 := d.Lookup(h + 1<<g)
+		if b1 != b2 {
+			t.Fatalf("hash %d and %d disagree", h, h+1<<g)
+		}
+	}
+}
+
+func TestMaxDepthRefusesSplit(t *testing.T) {
+	d := New(&intBucket{})
+	d.SetMaxDepth(2)
+	if !d.Split(0, splitBucket) || !d.Split(0, splitBucket) {
+		t.Fatal("first splits should succeed")
+	}
+	if d.Split(0, splitBucket) {
+		t.Fatal("split beyond max depth should be refused")
+	}
+}
+
+func TestMergeBuddy(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3}})
+	d.Split(0, splitBucket)
+	always := func(a, b *intBucket) bool { return true }
+	if !d.TryMergeBuddy(0, always, mergeBuckets) {
+		t.Fatal("merge refused")
+	}
+	if d.GlobalDepth() != 0 || d.NumBuckets() != 1 {
+		t.Fatalf("after merge: depth=%d buckets=%d", d.GlobalDepth(), d.NumBuckets())
+	}
+	b := d.Lookup(0)
+	sort.Slice(b.hashes, func(i, j int) bool { return b.hashes[i] < b.hashes[j] })
+	if !reflect.DeepEqual(b.hashes, []uint64{0, 1, 2, 3}) {
+		t.Fatalf("merged content: %v", b.hashes)
+	}
+}
+
+func TestMergeRefusedOnDepthMismatch(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3}})
+	d.Split(0, splitBucket) // depth 1/1
+	d.Split(0, splitBucket) // bucket(0) now depth 2, bucket(1) depth 1
+	always := func(a, b *intBucket) bool { return true }
+	// Bucket(1)'s buddy at its local depth is bucket(0)'s family with
+	// different depth; merge must be refused for depth mismatch.
+	if d.TryMergeBuddy(1, always, mergeBuckets) {
+		t.Fatal("merge across unequal local depths should be refused")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRespectsCanMerge(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1}})
+	d.Split(0, splitBucket)
+	never := func(a, b *intBucket) bool { return false }
+	if d.TryMergeBuddy(0, never, mergeBuckets) {
+		t.Fatal("canMerge=false must prevent merge")
+	}
+}
+
+func TestMergeZeroSideFirst(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1}})
+	d.Split(0, splitBucket)
+	var gotZero, gotOne *intBucket
+	d.TryMergeBuddy(1, func(a, b *intBucket) bool { return true }, func(zero, one *intBucket) *intBucket {
+		gotZero, gotOne = zero, one
+		return mergeBuckets(zero, one)
+	})
+	if len(gotZero.hashes) != 1 || gotZero.hashes[0] != 0 {
+		t.Fatalf("zero side = %v", gotZero.hashes)
+	}
+	if len(gotOne.hashes) != 1 || gotOne.hashes[0] != 1 {
+		t.Fatalf("one side = %v", gotOne.hashes)
+	}
+}
+
+func TestDirectoryShrinks(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3}})
+	d.Split(0, splitBucket)
+	d.Split(0, splitBucket)
+	d.Split(1, splitBucket)
+	if d.GlobalDepth() != 2 {
+		t.Fatalf("depth = %d", d.GlobalDepth())
+	}
+	always := func(a, b *intBucket) bool { return true }
+	for d.NumBuckets() > 1 {
+		merged := false
+		for h := uint64(0); h < uint64(d.NumSlots()); h++ {
+			if d.TryMergeBuddy(h, always, mergeBuckets) {
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			t.Fatal("stuck: no merge possible")
+		}
+	}
+	if d.GlobalDepth() != 0 || d.NumSlots() != 1 {
+		t.Fatalf("directory did not shrink: depth=%d slots=%d", d.GlobalDepth(), d.NumSlots())
+	}
+}
+
+func TestShapeRoundtrip(t *testing.T) {
+	d := New(&intBucket{hashes: []uint64{0, 1, 2, 3, 4, 5, 6, 7}})
+	d.Split(0, splitBucket)
+	d.Split(0, splitBucket)
+	d.Split(1, splitBucket)
+	global, specs := d.Shape()
+	re, err := FromShape(global, specs, func(bits uint32, local uint) *intBucket {
+		return &intBucket{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if re.GlobalDepth() != d.GlobalDepth() || re.NumBuckets() != d.NumBuckets() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			re.GlobalDepth(), re.NumBuckets(), d.GlobalDepth(), d.NumBuckets())
+	}
+	// Same hash must land in buckets with identical canonical bits.
+	for h := uint64(0); h < 64; h++ {
+		if d.CanonicalBits(h) != re.CanonicalBits(h) {
+			t.Fatalf("hash %d: canonical bits differ", h)
+		}
+	}
+}
+
+func TestFromShapeRejectsBadShapes(t *testing.T) {
+	mk := func(bits uint32, local uint) *intBucket { return &intBucket{} }
+	cases := []struct {
+		global uint
+		specs  []Spec
+	}{
+		{1, []Spec{{Local: 0, Bits: 0}}},                      // covers everything twice? no: covers both slots once, but leaves... actually valid; replaced below
+		{1, []Spec{{Local: 1, Bits: 0}}},                      // slot 1 uncovered
+		{1, []Spec{{Local: 1, Bits: 0}, {Local: 1, Bits: 0}}}, // overlap
+		{1, []Spec{{Local: 2, Bits: 0}}},                      // local > global
+		{2, []Spec{{Local: 1, Bits: 3}}},                      // bits wider than local
+		{40, nil},                                             // absurd global depth
+		{1, []Spec{{Local: 1, Bits: 0}, {Local: 1, Bits: 1}, {Local: 1, Bits: 1}}}, // extra bucket
+	}
+	// Case 0 is actually a valid single-bucket shape spanning the doubled
+	// directory; verify it parses, then check the others fail.
+	if _, err := FromShape(cases[0].global, cases[0].specs, mk); err != nil {
+		t.Fatalf("case 0 should be valid: %v", err)
+	}
+	for i, c := range cases[1:] {
+		if _, err := FromShape(c.global, c.specs, mk); err == nil {
+			t.Fatalf("case %d: expected error", i+1)
+		}
+	}
+}
+
+func TestQuickInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := New(&intBucket{})
+		d.SetMaxDepth(8)
+		ops := int(opsRaw)%60 + 10
+		always := func(a, b *intBucket) bool { return true }
+		for i := 0; i < ops; i++ {
+			h := r.Uint64()
+			if r.Intn(3) < 2 {
+				b := d.Lookup(h)
+				b.hashes = append(b.hashes, h)
+				d.Split(h, splitBucket)
+			} else {
+				d.TryMergeBuddy(h, always, mergeBuckets)
+			}
+			if err := d.Validate(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+		}
+		// Every inserted hash must still be findable in its bucket.
+		found := 0
+		d.Buckets(func(bits uint32, local uint, b *intBucket) {
+			for _, h := range b.hashes {
+				if uint32(h&((1<<local)-1)) != bits {
+					t.Logf("hash %#x in wrong bucket (bits %#x local %d)", h, bits, local)
+					found = -1 << 30
+				}
+				found++
+			}
+		})
+		return found >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalBitsMatchLookup(t *testing.T) {
+	d := New(&intBucket{})
+	for i := 0; i < 5; i++ {
+		d.Split(uint64(i*7), splitBucket)
+	}
+	for h := uint64(0); h < 256; h++ {
+		bits := d.CanonicalBits(h)
+		local := d.LocalDepth(h)
+		if uint64(bits) != h&((1<<local)-1) {
+			t.Fatalf("hash %d: bits %#x local %d", h, bits, local)
+		}
+	}
+}

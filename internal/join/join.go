@@ -1,0 +1,478 @@
+// Package join implements the slave-side join module of the paper (§IV-D):
+// per partition-group windowed stores for both streams, nested-loop probing
+// with the head-block fresh-tuple rules, block/exact expiration, and
+// fine-grained partition tuning via extendible hashing.
+//
+// # Processing rounds
+//
+// A slave processes the tuples received in one distribution epoch as a
+// round. Within a round and a fine-tuning bucket the paper's head-block
+// rules reduce to a fixed probe order that emits every valid pair exactly
+// once:
+//
+//	fresh(S1) × stored(S2)            (opposite fresh excluded: S2's fresh
+//	                                   tuples are not yet ingested)
+//	fresh(S2) × stored(S1) ∪ fresh(S1) (the now-stale S1 head tuples)
+//
+// Expiration runs after probing, which realizes the paper's completeness
+// rule ("while expiring a block ... the block is joined with the fresh
+// tuples within the head block of the opposite mini-window"): an expiring
+// block is still present while the round's fresh tuples probe it.
+//
+// # Probers
+//
+// ModeScan performs the honest block-nested-loop scan, tuple comparisons and
+// all — this is what the live engine runs. ModeIndexed maintains per-bucket
+// key→count maps and produces identical match counts in O(1) per probe while
+// *reporting* the scan length the nested loop would have performed; the
+// simulation charges virtual CPU from that figure. The equivalence of the
+// two modes is asserted by tests against a brute-force reference join.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"streamjoin/internal/exthash"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/window"
+)
+
+// Mode selects the prober implementation.
+type Mode uint8
+
+const (
+	// ModeIndexed matches via key→count maps (simulation).
+	ModeIndexed Mode = iota
+	// ModeScan matches via real nested-loop scans (live engine).
+	ModeScan
+)
+
+// Expiry selects the window expiration policy.
+type Expiry uint8
+
+const (
+	// ExpiryExact trims windows to exactly [now−W, now] each round.
+	ExpiryExact Expiry = iota
+	// ExpiryBlocks drops only whole expired blocks (the paper's policy).
+	ExpiryBlocks
+)
+
+// Config parameterizes a join module.
+type Config struct {
+	// WindowMs is the sliding-window length in milliseconds (W1 = W2).
+	WindowMs int32
+	// Theta is the partition-tuning threshold θ in bytes: fine tuning keeps
+	// each bucket's combined (both-stream) size within [θ, 2θ].
+	Theta int64
+	// FineTune enables partition tuning; disabled, every partition-group is
+	// one monolithic scan unit (the paper's "no fine-tuning" ablation).
+	FineTune bool
+	// Mode selects the prober.
+	Mode Mode
+	// Expiry selects the expiration policy.
+	Expiry Expiry
+	// MaxDepth bounds extendible-hashing local depths (0 = default).
+	MaxDepth uint
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxDepth == 0 {
+		out.MaxDepth = exthash.DefaultMaxDepth
+	}
+	if out.WindowMs <= 0 {
+		panic("join: WindowMs must be positive")
+	}
+	if out.FineTune && out.Theta <= 0 {
+		panic("join: Theta must be positive when fine tuning")
+	}
+	return out
+}
+
+// Match reports that a probe tuple with timestamp TS produced N output
+// pairs. The production delay of those outputs is measured from TS (the
+// newer joining tuple) to the completion time of the round's processing.
+type Match struct {
+	TS int32
+	N  int64
+}
+
+// RoundResult summarizes one group's processing round for the cost model
+// and metrics.
+type RoundResult struct {
+	Matches    []Match
+	Outputs    int64 // total pairs (sum of Matches[i].N)
+	Scanned    int64 // tuples visited by the (modeled or real) nested loop
+	Ingested   int   // tuples appended to windows
+	Expired    int   // tuples expired from windows
+	SplitMoves int64 // tuples relocated by splits and merges
+	Splits     int
+	Merges     int
+}
+
+// Module is a slave's join state: every partition-group it currently owns.
+type Module struct {
+	cfg    Config
+	groups map[int32]*Group
+	splits int64
+	merges int64
+}
+
+// New returns an empty module.
+func New(cfg Config) *Module {
+	return &Module{cfg: cfg.withDefaults(), groups: make(map[int32]*Group)}
+}
+
+// Config returns the module configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Ensure returns the group with the given ID, creating it empty if needed.
+func (m *Module) Ensure(id int32) *Group {
+	if g, ok := m.groups[id]; ok {
+		return g
+	}
+	g := newGroup(&m.cfg, id)
+	m.groups[id] = g
+	return g
+}
+
+// Get returns the group with the given ID.
+func (m *Module) Get(id int32) (*Group, bool) {
+	g, ok := m.groups[id]
+	return g, ok
+}
+
+// Remove detaches and returns the group with the given ID (state movement).
+func (m *Module) Remove(id int32) (*Group, bool) {
+	g, ok := m.groups[id]
+	if ok {
+		delete(m.groups, id)
+	}
+	return g, ok
+}
+
+// Add installs a group built by InstallGroup. It panics if the ID is taken.
+func (m *Module) Add(g *Group) {
+	if _, ok := m.groups[g.id]; ok {
+		panic(fmt.Sprintf("join: group %d already present", g.id))
+	}
+	m.groups[g.id] = g
+}
+
+// NumGroups reports the number of owned groups.
+func (m *Module) NumGroups() int { return len(m.groups) }
+
+// IDs returns the owned group IDs in increasing order.
+func (m *Module) IDs() []int32 {
+	out := make([]int32, 0, len(m.groups))
+	for id := range m.groups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WindowBytes reports the combined logical size of all window state held.
+func (m *Module) WindowBytes() int64 {
+	var n int64
+	for _, g := range m.groups {
+		n += g.WindowBytes()
+	}
+	return n
+}
+
+// Splits and Merges report cumulative fine-tuning activity.
+func (m *Module) Splits() int64 { return m.splits }
+
+// Merges reports cumulative buddy merges.
+func (m *Module) Merges() int64 { return m.merges }
+
+// Process runs one round for the group: ingest and probe the given
+// stream-tagged tuples (timestamp-ordered), then expire, then fine-tune.
+// Every owned group should be processed every round (with tuples=nil when
+// none arrived) so expiration keeps up.
+func (m *Module) Process(id int32, nowMs int32, tuples []tuple.Tuple) RoundResult {
+	g := m.Ensure(id)
+	res := g.process(nowMs, tuples)
+	m.splits += int64(res.Splits)
+	m.merges += int64(res.Merges)
+	return res
+}
+
+// bucket is one fine-tuning unit: a mini-partition-group in paper terms.
+type bucket struct {
+	w      [2]*window.Store
+	counts [2]map[int32]int32 // key → live count; ModeIndexed only
+}
+
+func newBucket(mode Mode) *bucket {
+	b := &bucket{}
+	b.w[0], b.w[1] = window.NewStore(), window.NewStore()
+	if mode == ModeIndexed {
+		b.counts[0] = make(map[int32]int32)
+		b.counts[1] = make(map[int32]int32)
+	}
+	return b
+}
+
+func (b *bucket) bytes() int64 { return b.w[0].Bytes() + b.w[1].Bytes() }
+
+func (b *bucket) ingest(mode Mode, t tuple.Tuple) {
+	s := int(t.Stream)
+	b.w[s].Append(t.Packed())
+	if mode == ModeIndexed {
+		b.counts[s][t.Key]++
+	}
+}
+
+// countIn returns the number of live tuples of stream s with the given key
+// (indexed mode only).
+func (b *bucket) countIn(s int, key int32) int64 {
+	return int64(b.counts[s][key])
+}
+
+// scanCount performs the real nested-loop count (scan mode).
+func (b *bucket) scanCount(s int, key int32) int64 {
+	var n int64
+	b.w[s].All(func(p tuple.Packed) {
+		if p.Key == key {
+			n++
+		}
+	})
+	return n
+}
+
+// Group is one partition-group: the unit of load movement, holding a
+// directory of fine-tuning buckets.
+type Group struct {
+	cfg *Config
+	id  int32
+	dir *exthash.Dir[*bucket]
+}
+
+func newGroup(cfg *Config, id int32) *Group {
+	g := &Group{cfg: cfg, id: id, dir: exthash.New(newBucket(cfg.Mode))}
+	g.dir.SetMaxDepth(cfg.MaxDepth)
+	return g
+}
+
+// ID returns the group's identifier.
+func (g *Group) ID() int32 { return g.id }
+
+// WindowBytes reports the group's combined window size.
+func (g *Group) WindowBytes() int64 {
+	var n int64
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { n += b.bytes() })
+	return n
+}
+
+// NumBuckets reports the number of fine-tuning buckets.
+func (g *Group) NumBuckets() int { return g.dir.NumBuckets() }
+
+// bucketFor routes a key to its fine-tuning bucket.
+func (g *Group) bucketFor(key int32) *bucket {
+	return g.dir.Lookup(tuple.FineHash(key))
+}
+
+func (g *Group) process(nowMs int32, tuples []tuple.Tuple) RoundResult {
+	var res RoundResult
+	mode := g.cfg.Mode
+
+	// Partition the round's tuples by bucket, preserving timestamp order,
+	// with deterministic first-seen bucket ordering.
+	type perBucket struct {
+		b *bucket
+		f [2][]tuple.Tuple
+	}
+	var order []*perBucket
+	index := make(map[*bucket]*perBucket)
+	for _, t := range tuples {
+		b := g.bucketFor(t.Key)
+		pb, ok := index[b]
+		if !ok {
+			pb = &perBucket{b: b}
+			index[b] = pb
+			order = append(order, pb)
+		}
+		pb.f[t.Stream] = append(pb.f[t.Stream], t)
+	}
+
+	for _, pb := range order {
+		b := pb.b
+		// fresh(S1) probes stored(S2): S2's fresh tuples are not ingested
+		// yet, which is the paper's "omit the fresh tuples within the head
+		// blocks of the opposite mini window-partitions".
+		g.probe(b, &res, pb.f[0], 1)
+		for _, t := range pb.f[0] {
+			b.ingest(mode, t)
+		}
+		// fresh(S2) probes stored(S1) including the now-stale S1 tuples.
+		g.probe(b, &res, pb.f[1], 0)
+		for _, t := range pb.f[1] {
+			b.ingest(mode, t)
+		}
+		res.Ingested += len(pb.f[0]) + len(pb.f[1])
+	}
+
+	// Expire after probing (completeness rule), across all buckets.
+	cutoff := nowMs - g.cfg.WindowMs
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
+		for s := 0; s < 2; s++ {
+			var onExp func(tuple.Packed)
+			if mode == ModeIndexed {
+				counts := b.counts[s]
+				onExp = func(p tuple.Packed) {
+					if c := counts[p.Key] - 1; c > 0 {
+						counts[p.Key] = c
+					} else {
+						delete(counts, p.Key)
+					}
+				}
+			}
+			if g.cfg.Expiry == ExpiryExact {
+				res.Expired += b.w[s].ExpireExact(cutoff, onExp)
+			} else {
+				res.Expired += b.w[s].ExpireBlocks(cutoff, onExp)
+			}
+		}
+	})
+
+	if g.cfg.FineTune {
+		g.tune(&res)
+	}
+	return res
+}
+
+// ProbeOnly joins the given tuples against the group's stored windows
+// without ingesting them, as the cascaded probe copies of a CTR-style
+// router require (the copy is stored at its home node only). Expiry and
+// tuning do not run; only Matches, Outputs and Scanned are filled in.
+func (g *Group) ProbeOnly(tuples []tuple.Tuple) RoundResult {
+	var res RoundResult
+	for _, t := range tuples {
+		b := g.bucketFor(t.Key)
+		opp := int(t.Stream.Opposite())
+		var n int64
+		if g.cfg.Mode == ModeIndexed {
+			n = b.countIn(opp, t.Key)
+		} else {
+			n = b.scanCount(opp, t.Key)
+		}
+		res.Scanned += int64(b.w[opp].Len())
+		if n > 0 {
+			res.Matches = append(res.Matches, Match{TS: t.TS, N: n})
+			res.Outputs += n
+		}
+	}
+	return res
+}
+
+// probe joins the fresh tuples against stream opp of bucket b.
+func (g *Group) probe(b *bucket, res *RoundResult, fresh []tuple.Tuple, opp int) {
+	if len(fresh) == 0 {
+		return
+	}
+	scanLen := int64(b.w[opp].Len())
+	for _, t := range fresh {
+		var n int64
+		if g.cfg.Mode == ModeIndexed {
+			n = b.countIn(opp, t.Key)
+		} else {
+			n = b.scanCount(opp, t.Key)
+		}
+		res.Scanned += scanLen
+		if n > 0 {
+			res.Matches = append(res.Matches, Match{TS: t.TS, N: n})
+			res.Outputs += n
+		}
+	}
+}
+
+// tune enforces the [θ, 2θ] bucket size band via extendible hashing.
+func (g *Group) tune(res *RoundResult) {
+	theta := g.cfg.Theta
+	// Split sweeps: attempt to split every oversize bucket; a sweep that
+	// splits nothing terminates the loop (either all within band or splits
+	// refused at max depth).
+	for {
+		var oversize []uint32
+		g.dir.Buckets(func(bits uint32, _ uint, b *bucket) {
+			if b.bytes() > 2*theta {
+				oversize = append(oversize, bits)
+			}
+		})
+		split := false
+		for _, bits := range oversize {
+			// The bucket may have been re-split already in this sweep;
+			// re-check size through a fresh lookup.
+			if g.dir.Lookup(uint64(bits)).bytes() <= 2*theta {
+				continue
+			}
+			ok := g.dir.Split(uint64(bits), func(old *bucket, bit uint) (*bucket, *bucket) {
+				zero, one := newBucket(g.cfg.Mode), newBucket(g.cfg.Mode)
+				for s := 0; s < 2; s++ {
+					old.w[s].All(func(p tuple.Packed) {
+						dst := zero
+						if tuple.FineHash(p.Key)>>bit&1 == 1 {
+							dst = one
+						}
+						dst.w[s].Append(p)
+						if g.cfg.Mode == ModeIndexed {
+							dst.counts[s][p.Key]++
+						}
+						res.SplitMoves++
+					})
+				}
+				return zero, one
+			})
+			if ok {
+				split = true
+				res.Splits++
+			}
+		}
+		if !split {
+			break
+		}
+	}
+	// Merge sweeps: merge undersize buckets with their buddies while the
+	// combined size stays below 2θ (paper §IV-D).
+	for {
+		var undersize []uint32
+		g.dir.Buckets(func(bits uint32, local uint, b *bucket) {
+			if local > 0 && b.bytes() < theta {
+				undersize = append(undersize, bits)
+			}
+		})
+		merged := false
+		for _, bits := range undersize {
+			ok := g.dir.TryMergeBuddy(uint64(bits),
+				func(a, b *bucket) bool { return a.bytes()+b.bytes() < 2*theta },
+				func(zero, one *bucket) *bucket {
+					m := &bucket{}
+					m.w[0] = window.MergeStores(zero.w[0], one.w[0])
+					m.w[1] = window.MergeStores(zero.w[1], one.w[1])
+					if g.cfg.Mode == ModeIndexed {
+						for s := 0; s < 2; s++ {
+							m.counts[s] = make(map[int32]int32, len(zero.counts[s])+len(one.counts[s]))
+							for k, v := range zero.counts[s] {
+								m.counts[s][k] += v
+							}
+							for k, v := range one.counts[s] {
+								m.counts[s][k] += v
+							}
+						}
+					}
+					res.SplitMoves += int64(m.w[0].Len() + m.w[1].Len())
+					return m
+				})
+			if ok {
+				merged = true
+				res.Merges++
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+}

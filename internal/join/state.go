@@ -1,0 +1,106 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"streamjoin/internal/exthash"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// State is a partition-group's movable state: the fine-tuning directory
+// shape and both stream windows in temporal order. It is what a supplier's
+// state mover extracts and a consumer installs (§IV-C).
+type State struct {
+	ID          int32
+	GlobalDepth uint
+	Buckets     []exthash.Spec
+	Window      [2][]tuple.Packed
+}
+
+// WindowTuples reports the total window tuples carried.
+func (st *State) WindowTuples() int { return len(st.Window[0]) + len(st.Window[1]) }
+
+// Extract snapshots the group's movable state. The group should no longer be
+// processed afterwards (the caller removes it from its Module).
+func (g *Group) Extract() State {
+	global, specs := g.dir.Shape()
+	st := State{ID: g.id, GlobalDepth: global, Buckets: specs}
+	for s := 0; s < 2; s++ {
+		var all []tuple.Packed
+		g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
+			all = append(all, b.w[s].Snapshot()...)
+		})
+		// Buckets are each temporally ordered; restore a global temporal
+		// order. Stable sort keeps the deterministic per-bucket order on
+		// timestamp ties.
+		sort.SliceStable(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+		st.Window[s] = all
+	}
+	return st
+}
+
+// Install rebuilds a group from moved state and adds it to the module.
+func (m *Module) Install(st State) error {
+	if _, ok := m.groups[st.ID]; ok {
+		return fmt.Errorf("join: install: group %d already owned", st.ID)
+	}
+	dir, err := exthash.FromShape(st.GlobalDepth, st.Buckets, func(uint32, uint) *bucket {
+		return newBucket(m.cfg.Mode)
+	})
+	if err != nil {
+		return fmt.Errorf("join: install group %d: %w", st.ID, err)
+	}
+	dir.SetMaxDepth(m.cfg.MaxDepth)
+	g := &Group{cfg: &m.cfg, id: st.ID, dir: dir}
+	for s := 0; s < 2; s++ {
+		for _, p := range st.Window[s] {
+			b := g.bucketFor(p.Key)
+			b.w[s].Append(p)
+			if m.cfg.Mode == ModeIndexed {
+				b.counts[s][p.Key]++
+			}
+		}
+	}
+	m.groups[st.ID] = g
+	return nil
+}
+
+// ToWire converts the state to its transfer message. Pending tuples (the
+// supplier's unprocessed buffer for this group) are attached by the caller.
+func (st *State) ToWire(moveID int64, pending []tuple.Tuple) *wire.StateTransfer {
+	w := &wire.StateTransfer{
+		MoveID:      moveID,
+		Group:       st.ID,
+		GlobalDepth: uint8(st.GlobalDepth),
+		Pending:     pending,
+	}
+	for _, sp := range st.Buckets {
+		w.Buckets = append(w.Buckets, wire.BucketSpec{LocalDepth: uint8(sp.Local), Bits: sp.Bits})
+	}
+	for s := 0; s < 2; s++ {
+		ts := make([]tuple.Tuple, len(st.Window[s]))
+		for i, p := range st.Window[s] {
+			ts[i] = tuple.Tuple{Stream: tuple.StreamID(s), Key: p.Key, TS: p.TS}
+		}
+		w.Window[s] = ts
+	}
+	return w
+}
+
+// StateFromWire reverses ToWire (the pending tuples stay on the message).
+func StateFromWire(w *wire.StateTransfer) State {
+	st := State{ID: w.Group, GlobalDepth: uint(w.GlobalDepth)}
+	for _, sp := range w.Buckets {
+		st.Buckets = append(st.Buckets, exthash.Spec{Local: uint(sp.LocalDepth), Bits: sp.Bits})
+	}
+	for s := 0; s < 2; s++ {
+		ps := make([]tuple.Packed, len(w.Window[s]))
+		for i, t := range w.Window[s] {
+			ps[i] = t.Packed()
+		}
+		st.Window[s] = ps
+	}
+	return st
+}

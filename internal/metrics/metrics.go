@@ -1,0 +1,139 @@
+// Package metrics provides the small statistics containers used across the
+// system: production-delay aggregates (count/sum/extrema plus a power-of-two
+// histogram) and min/avg/max summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// HistBuckets is the number of power-of-two millisecond delay buckets;
+// bucket i counts delays in [2^i, 2^(i+1)) ms with bucket 0 also absorbing
+// sub-millisecond delays.
+const HistBuckets = 24
+
+// DelayStats aggregates production delays of output tuples.
+type DelayStats struct {
+	Count int64
+	SumMs int64
+	MinMs int32
+	MaxMs int32
+	Hist  [HistBuckets]int64
+}
+
+// BucketFor returns the histogram bucket for a delay in milliseconds.
+func BucketFor(delayMs int32) int {
+	if delayMs < 1 {
+		return 0
+	}
+	b := bits.Len32(uint32(delayMs)) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Add records n outputs with the given production delay.
+func (d *DelayStats) Add(delayMs int32, n int64) {
+	if n <= 0 {
+		return
+	}
+	if delayMs < 0 {
+		delayMs = 0
+	}
+	if d.Count == 0 || delayMs < d.MinMs {
+		d.MinMs = delayMs
+	}
+	if d.Count == 0 || delayMs > d.MaxMs {
+		d.MaxMs = delayMs
+	}
+	d.Count += n
+	d.SumMs += int64(delayMs) * n
+	d.Hist[BucketFor(delayMs)] += n
+}
+
+// Merge folds other into d.
+func (d *DelayStats) Merge(other *DelayStats) {
+	if other.Count == 0 {
+		return
+	}
+	if d.Count == 0 || other.MinMs < d.MinMs {
+		d.MinMs = other.MinMs
+	}
+	if d.Count == 0 || other.MaxMs > d.MaxMs {
+		d.MaxMs = other.MaxMs
+	}
+	d.Count += other.Count
+	d.SumMs += other.SumMs
+	for i := range d.Hist {
+		d.Hist[i] += other.Hist[i]
+	}
+}
+
+// Reset clears the aggregate (warm-up boundary).
+func (d *DelayStats) Reset() { *d = DelayStats{} }
+
+// Mean returns the average delay, or 0 when empty.
+func (d *DelayStats) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return time.Duration(float64(d.SumMs) / float64(d.Count) * float64(time.Millisecond))
+}
+
+// ApproxQuantile estimates the q-quantile (0 ≤ q ≤ 1) from the histogram,
+// returning the upper edge of the bucket containing it.
+func (d *DelayStats) ApproxQuantile(q float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(d.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, h := range d.Hist {
+		cum += h
+		if cum >= target {
+			return time.Duration(1<<uint(i+1)) * time.Millisecond
+		}
+	}
+	return time.Duration(d.MaxMs) * time.Millisecond
+}
+
+func (d *DelayStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%dms max=%dms",
+		d.Count, d.Mean(), d.MinMs, d.MaxMs)
+}
+
+// Summary accumulates min/avg/max over float64 observations (e.g., per-slave
+// communication overhead for Figure 12).
+type Summary struct {
+	N   int64
+	Sum float64
+	Min float64
+	Max float64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.N++
+	s.Sum += v
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		ms   int32
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+		{1 << 30, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketFor(c.ms); got != c.want {
+			t.Fatalf("BucketFor(%d) = %d, want %d", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestDelayStatsAdd(t *testing.T) {
+	var d DelayStats
+	d.Add(100, 3)
+	d.Add(50, 1)
+	d.Add(400, 2)
+	d.Add(10, 0)  // ignored
+	d.Add(10, -1) // ignored
+	if d.Count != 6 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	if d.MinMs != 50 || d.MaxMs != 400 {
+		t.Fatalf("min/max = %d/%d", d.MinMs, d.MaxMs)
+	}
+	if d.SumMs != 100*3+50+400*2 {
+		t.Fatalf("sum = %d", d.SumMs)
+	}
+	wantMean := time.Duration(float64(d.SumMs) / 6 * float64(time.Millisecond))
+	if d.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", d.Mean(), wantMean)
+	}
+}
+
+func TestDelayStatsNegativeClamped(t *testing.T) {
+	var d DelayStats
+	d.Add(-100, 1)
+	if d.MinMs != 0 || d.SumMs != 0 || d.Count != 1 {
+		t.Fatalf("negative delay not clamped: %+v", d)
+	}
+}
+
+func TestDelayStatsMerge(t *testing.T) {
+	var a, b DelayStats
+	a.Add(10, 5)
+	b.Add(1000, 2)
+	b.Add(1, 1)
+	a.Merge(&b)
+	if a.Count != 8 || a.MinMs != 1 || a.MaxMs != 1000 {
+		t.Fatalf("merged = %+v", a)
+	}
+	var empty DelayStats
+	a.Merge(&empty) // no-op
+	if a.Count != 8 {
+		t.Fatal("merge with empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count != 8 || empty.MinMs != 1 {
+		t.Fatalf("merge into empty: %+v", empty)
+	}
+}
+
+func TestDelayStatsMergeConservesMass(t *testing.T) {
+	f := func(delays []int16) bool {
+		var whole, left, right DelayStats
+		for i, v := range delays {
+			ms := int32(v)
+			whole.Add(ms, 1)
+			if i%2 == 0 {
+				left.Add(ms, 1)
+			} else {
+				right.Add(ms, 1)
+			}
+		}
+		left.Merge(&right)
+		return left.Count == whole.Count && left.SumMs == whole.SumMs &&
+			left.Hist == whole.Hist
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxQuantile(t *testing.T) {
+	var d DelayStats
+	if d.ApproxQuantile(0.5) != 0 {
+		t.Fatal("quantile of empty")
+	}
+	for i := 0; i < 90; i++ {
+		d.Add(10, 1) // bucket 3: [8,16)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(5000, 1) // bucket 12: [4096,8192)
+	}
+	if q := d.ApproxQuantile(0.5); q != 16*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := d.ApproxQuantile(0.99); q < 4*time.Second {
+		t.Fatalf("p99 = %v", q)
+	}
+}
+
+func TestDelayStatsResetAndString(t *testing.T) {
+	var d DelayStats
+	d.Add(7, 2)
+	if d.String() == "" {
+		t.Fatal("String")
+	}
+	d.Reset()
+	if d.Count != 0 || d.Mean() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+	s.Observe(5)
+	s.Observe(1)
+	s.Observe(9)
+	if s.Min != 1 || s.Max != 9 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}

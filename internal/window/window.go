@@ -1,0 +1,234 @@
+// Package window implements the temporally-ordered windowed store that backs
+// each fine-tuning bucket of a partition-group: a list of 4 KB blocks of
+// 64-byte tuples, appended at the head and expired from the tail.
+//
+// Tuples are kept strictly in arrival order — the property that (as §IV-D
+// argues) rules out sort-based join algorithms but makes expiration a cheap
+// prefix trim. Two expiry policies are provided: ExpireBlocks drops only
+// whole blocks whose newest tuple has left the window (the paper's policy,
+// used by the live engine) and ExpireExact trims to the exact cutoff (used
+// by the simulation, where byte-precise window accounting matters).
+//
+// Positions for "fresh tuple" tracking are absolute append sequence numbers,
+// which stay valid across expiry: live tuples always form the contiguous
+// sequence range [Expired(), Appended()).
+package window
+
+import (
+	"fmt"
+
+	"streamjoin/internal/tuple"
+)
+
+// Store is one stream's window content within a fine-tuning bucket.
+type Store struct {
+	blocks   [][]tuple.Packed
+	start    int   // live offset into blocks[0]
+	appended int64 // tuples ever appended
+	expired  int64 // tuples ever expired
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Len reports the number of live tuples.
+func (s *Store) Len() int { return int(s.appended - s.expired) }
+
+// Bytes reports the logical size of the live window content.
+func (s *Store) Bytes() int64 { return int64(s.Len()) * tuple.LogicalSize }
+
+// Blocks reports the number of blocks held (including a partial head block).
+func (s *Store) Blocks() int { return len(s.blocks) }
+
+// Appended returns the append sequence number of the next tuple; it is the
+// Mark used for fresh-tuple tracking.
+func (s *Store) Appended() int64 { return s.appended }
+
+// Expired returns the number of tuples expired so far.
+func (s *Store) Expired() int64 { return s.expired }
+
+// Append adds p at the head of the window. Tuples must arrive in
+// non-decreasing timestamp order; Append panics otherwise, because every
+// correctness property of expiry depends on it.
+func (s *Store) Append(p tuple.Packed) {
+	if n := len(s.blocks); n > 0 {
+		last := s.blocks[n-1]
+		if len(last) > 0 && last[len(last)-1].TS > p.TS {
+			panic(fmt.Sprintf("window: append out of order: %d after %d",
+				p.TS, last[len(last)-1].TS))
+		}
+	}
+	if n := len(s.blocks); n == 0 || len(s.blocks[n-1]) == tuple.TuplesPerBlock {
+		s.blocks = append(s.blocks, make([]tuple.Packed, 0, tuple.TuplesPerBlock))
+	}
+	n := len(s.blocks)
+	s.blocks[n-1] = append(s.blocks[n-1], p)
+	s.appended++
+}
+
+// All calls fn for every live tuple in temporal order.
+func (s *Store) All(fn func(tuple.Packed)) {
+	for i, blk := range s.blocks {
+		ts := blk
+		if i == 0 {
+			ts = blk[s.start:]
+		}
+		for _, p := range ts {
+			fn(p)
+		}
+	}
+}
+
+// FromSeq calls fn for every live tuple with append sequence ≥ seq, in
+// temporal order. It is how a processing round iterates its fresh tuples.
+func (s *Store) FromSeq(seq int64, fn func(tuple.Packed)) {
+	if seq < s.expired {
+		seq = s.expired
+	}
+	skip := seq - s.expired
+	for i, blk := range s.blocks {
+		ts := blk
+		if i == 0 {
+			ts = blk[s.start:]
+		}
+		if skip >= int64(len(ts)) {
+			skip -= int64(len(ts))
+			continue
+		}
+		for _, p := range ts[skip:] {
+			fn(p)
+		}
+		skip = 0
+	}
+}
+
+// Snapshot returns the live tuples in temporal order (state movement).
+func (s *Store) Snapshot() []tuple.Packed {
+	out := make([]tuple.Packed, 0, s.Len())
+	s.All(func(p tuple.Packed) { out = append(out, p) })
+	return out
+}
+
+// ExpireExact removes every live tuple with TS < cutoff, invoking fn (if
+// non-nil) per removed tuple, and returns the number removed.
+func (s *Store) ExpireExact(cutoff int32, fn func(tuple.Packed)) int {
+	removed := 0
+	for len(s.blocks) > 0 {
+		blk := s.blocks[0]
+		live := blk[s.start:]
+		if len(live) == 0 {
+			s.blocks = s.blocks[1:]
+			s.start = 0
+			continue
+		}
+		if live[len(live)-1].TS < cutoff {
+			// Whole block expired.
+			for _, p := range live {
+				if fn != nil {
+					fn(p)
+				}
+			}
+			removed += len(live)
+			s.blocks = s.blocks[1:]
+			s.start = 0
+			continue
+		}
+		// Partial: advance start within the block.
+		for len(live) > 0 && live[0].TS < cutoff {
+			if fn != nil {
+				fn(live[0])
+			}
+			live = live[1:]
+			s.start++
+			removed++
+		}
+		break
+	}
+	if len(s.blocks) == 0 {
+		s.start = 0
+	}
+	s.expired += int64(removed)
+	return removed
+}
+
+// ExpireBlocks removes only whole blocks whose newest tuple has TS < cutoff
+// — the paper's block-granularity expiration. The (possibly partial) newest
+// block is never removed. fn, if non-nil, is invoked per removed tuple.
+func (s *Store) ExpireBlocks(cutoff int32, fn func(tuple.Packed)) int {
+	removed := 0
+	for len(s.blocks) > 1 || (len(s.blocks) == 1 && len(s.blocks[0]) == tuple.TuplesPerBlock) {
+		blk := s.blocks[0]
+		live := blk[s.start:]
+		if len(live) > 0 && live[len(live)-1].TS >= cutoff {
+			break
+		}
+		for _, p := range live {
+			if fn != nil {
+				fn(p)
+			}
+		}
+		removed += len(live)
+		s.blocks = s.blocks[1:]
+		s.start = 0
+	}
+	if len(s.blocks) == 0 {
+		s.start = 0
+	}
+	s.expired += int64(removed)
+	return removed
+}
+
+// OldestTS returns the timestamp of the oldest live tuple, or ok=false when
+// the store is empty.
+func (s *Store) OldestTS() (int32, bool) {
+	for i, blk := range s.blocks {
+		ts := blk
+		if i == 0 {
+			ts = blk[s.start:]
+		}
+		if len(ts) > 0 {
+			return ts[0].TS, true
+		}
+	}
+	return 0, false
+}
+
+// NewestTS returns the timestamp of the newest live tuple, or ok=false when
+// the store is empty.
+func (s *Store) NewestTS() (int32, bool) {
+	for i := len(s.blocks) - 1; i >= 0; i-- {
+		blk := s.blocks[i]
+		lo := 0
+		if i == 0 {
+			lo = s.start
+		}
+		if len(blk) > lo {
+			return blk[len(blk)-1].TS, true
+		}
+	}
+	return 0, false
+}
+
+// MergeStores builds a new store holding the live tuples of a and b merged
+// in timestamp order (buddy-bucket merging during fine tuning).
+func MergeStores(a, b *Store) *Store {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	out := NewStore()
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		if sa[i].TS <= sb[j].TS {
+			out.Append(sa[i])
+			i++
+		} else {
+			out.Append(sb[j])
+			j++
+		}
+	}
+	for ; i < len(sa); i++ {
+		out.Append(sa[i])
+	}
+	for ; j < len(sb); j++ {
+		out.Append(sb[j])
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds the size of a single frame on a live transport (256 MB),
+// comfortably above the largest state transfer the defaults can produce.
+const maxFrame = 1 << 28
+
+// WriteFrame marshals m and writes it to w as a 4-byte big-endian length
+// prefix followed by the encoded message.
+func WriteFrame(w io.Writer, m Message) error {
+	body := Marshal(m)
+	if len(body) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame and decodes it.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Unmarshal(body)
+}

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds random byte slices — including ones that
+// start with valid kind bytes — to Unmarshal; it must return an error or a
+// message, never panic. This is the safety property the TCP deployment
+// relies on for untrusted frames.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(seed int64, n uint16, kind uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(n)%4096)
+		r.Read(buf)
+		if len(buf) > 0 {
+			buf[0] = kind % 6 // bias toward valid kinds
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%6, rec)
+			}
+		}()
+		_, _ = Unmarshal(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutatedFramesNeverPanic flips bytes of valid encodings.
+func TestMutatedFramesNeverPanic(t *testing.T) {
+	msgs := []Message{
+		&Hello{Slave: 1, Epoch: 2, MoveACKs: []int64{1, 2, 3}},
+		&Batch{Epoch: 3, Directives: []Directive{{MoveID: 1, Group: 2, From: 0, To: 1}}},
+		&StateTransfer{MoveID: 4, Buckets: []BucketSpec{{LocalDepth: 2, Bits: 1}}},
+		&ResultBatch{Slave: 1, Outputs: 10},
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, m := range msgs {
+		base := Marshal(m)
+		for trial := 0; trial < 500; trial++ {
+			buf := append([]byte(nil), base...)
+			for k := 0; k < 1+r.Intn(4); k++ {
+				buf[r.Intn(len(buf))] ^= byte(1 << r.Intn(8))
+			}
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("panic on mutated %v: %v", m.Kind(), rec)
+					}
+				}()
+				_, _ = Unmarshal(buf)
+			}()
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package wire defines the messages exchanged by the master, slaves and
+// collector, together with a machine-independent (big-endian) binary codec.
+//
+// The same message structs travel over both engines: the simulated network
+// passes them by reference and charges WireSize, while the live TCP
+// transport marshals them with Marshal/Unmarshal (framed by the transport).
+// WireSize reports the paper-accounting size — tuples count their 64-byte
+// logical size and result batches count the composite result tuples they
+// summarize — which is what all communication-overhead metrics use.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streamjoin/internal/tuple"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindHello Kind = 1 + iota
+	KindBatch
+	KindStateTransfer
+	KindResultBatch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "Hello"
+	case KindBatch:
+		return "Batch"
+	case KindStateTransfer:
+		return "StateTransfer"
+	case KindResultBatch:
+		return "ResultBatch"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// headerSize is the logical per-message overhead charged by WireSize.
+const headerSize = 16
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Kind() Kind
+	// WireSize is the logical size in bytes used for all timing and
+	// communication-overhead accounting.
+	WireSize() int64
+	appendTo(b []byte) []byte
+	decodeFrom(d *decoder) error
+}
+
+// ErrTruncated reports a message shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrUnknownKind reports an unrecognized kind byte.
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+// Marshal encodes m as kind byte + body in big-endian layout.
+func Marshal(m Message) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(m.Kind()))
+	return m.appendTo(b)
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	switch Kind(b[0]) {
+	case KindHello:
+		m = &Hello{}
+	case KindBatch:
+		m = &Batch{}
+	case KindStateTransfer:
+		m = &StateTransfer{}
+	case KindResultBatch:
+		m = &ResultBatch{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[0])
+	}
+	d := &decoder{buf: b[1:]}
+	if err := m.decodeFrom(d); err != nil {
+		return nil, err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", len(d.buf), m.Kind())
+	}
+	return m, nil
+}
+
+// Hello is the per-epoch slave→master report that opens each exchange of the
+// fixed communication pattern: identity, epoch, the average buffer occupancy
+// over the current reorganization interval, and acknowledgements of
+// completed partition-group movements.
+type Hello struct {
+	Slave        int32
+	Epoch        int64
+	Active       bool
+	Occupancy    float64 // average buffer occupancy in [0,1]
+	WindowBytes  int64   // current window state held (metrics)
+	BacklogBytes int64   // unprocessed buffered tuples (metrics)
+	MoveACKs     []int64 // completed MoveIDs
+}
+
+// Kind implements Message.
+func (*Hello) Kind() Kind { return KindHello }
+
+// WireSize implements Message.
+func (h *Hello) WireSize() int64 {
+	return headerSize + 48 + 8*int64(len(h.MoveACKs))
+}
+
+// Directive orders one partition-group movement: From yields Group to To.
+// Both the supplier and the consumer receive the same directive and derive
+// their role from their own slave ID.
+type Directive struct {
+	MoveID int64
+	Group  int32
+	From   int32
+	To     int32
+}
+
+// Batch is the master→slave response: the tuples buffered for the slave's
+// partition-groups since its last service, plus any reorganization
+// directives and declustering-degree changes.
+type Batch struct {
+	Epoch      int64
+	Activate   bool // slave (re)joins the active set
+	Deactivate bool // slave must yield all groups and go inactive
+	Shutdown   bool // live engine: orderly termination of the slave loop
+	Tuples     []tuple.Tuple
+	Directives []Directive
+}
+
+// Kind implements Message.
+func (*Batch) Kind() Kind { return KindBatch }
+
+// WireSize implements Message.
+func (b *Batch) WireSize() int64 {
+	return headerSize + 24 +
+		tuple.LogicalSize*int64(len(b.Tuples)) +
+		20*int64(len(b.Directives))
+}
+
+// BucketSpec describes one fine-tuning bucket of a partition-group so the
+// consumer of a state movement can reconstruct the extendible-hashing
+// directory without re-splitting (§IV-C: "The splitting information, if any,
+// is also sent to the consumer").
+type BucketSpec struct {
+	LocalDepth uint8
+	Bits       uint32 // canonical low `LocalDepth` bits identifying the bucket
+}
+
+// StateTransfer moves a partition-group supplier→consumer: the window
+// contents of both streams in temporal order, unprocessed buffered tuples,
+// and the fine-tuning directory shape.
+type StateTransfer struct {
+	MoveID      int64
+	Group       int32
+	GlobalDepth uint8
+	Buckets     []BucketSpec
+	Window      [2][]tuple.Tuple
+	Pending     []tuple.Tuple
+}
+
+// Kind implements Message.
+func (*StateTransfer) Kind() Kind { return KindStateTransfer }
+
+// WireSize implements Message.
+func (st *StateTransfer) WireSize() int64 {
+	n := int64(len(st.Window[0]) + len(st.Window[1]) + len(st.Pending))
+	return headerSize + 24 + 5*int64(len(st.Buckets)) + tuple.LogicalSize*n
+}
+
+// DelayHistBuckets is the number of power-of-two millisecond delay buckets
+// carried by ResultBatch (bucket i counts delays in [2^i, 2^(i+1)) ms, with
+// bucket 0 also absorbing sub-millisecond delays).
+const DelayHistBuckets = 24
+
+// ResultBatch is the slave→collector summary of the output tuples produced
+// since the previous batch. Outputs are aggregated (count, delay sum and
+// extrema, histogram) rather than materialized, but WireSize charges the
+// full composite-result volume so communication accounting matches a system
+// that ships every output tuple.
+type ResultBatch struct {
+	Slave      int32
+	Outputs    int64
+	DelaySumMs int64
+	DelayMinMs int32
+	DelayMaxMs int32
+	Hist       [DelayHistBuckets]int64
+}
+
+// Kind implements Message.
+func (*ResultBatch) Kind() Kind { return KindResultBatch }
+
+// WireSize implements Message.
+func (r *ResultBatch) WireSize() int64 {
+	return headerSize + 24 + tuple.ResultSize*r.Outputs
+}
+
+// --- encoding helpers ---
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
+func appendI64(b []byte, v int64) []byte   { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendTuple(b []byte, t tuple.Tuple) []byte {
+	b = appendU8(b, uint8(t.Stream))
+	b = appendI32(b, t.Key)
+	return appendI32(b, t.TS)
+}
+
+func appendTuples(b []byte, ts []tuple.Tuple) []byte {
+	b = appendU32(b, uint32(len(ts)))
+	for _, t := range ts {
+		b = appendTuple(b, t)
+	}
+	return b
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	v := d.buf[:n]
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) u8() uint8 {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3])
+}
+
+func (d *decoder) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return uint64(v[0])<<56 | uint64(v[1])<<48 | uint64(v[2])<<40 | uint64(v[3])<<32 |
+		uint64(v[4])<<24 | uint64(v[5])<<16 | uint64(v[6])<<8 | uint64(v[7])
+}
+
+func (d *decoder) i32() int32   { return int32(d.u32()) }
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) tuple() tuple.Tuple {
+	return tuple.Tuple{
+		Stream: tuple.StreamID(d.u8()),
+		Key:    d.i32(),
+		TS:     d.i32(),
+	}
+}
+
+// maxSliceLen bounds decoded slice lengths to defend against corrupt frames.
+const maxSliceLen = 1 << 28
+
+func (d *decoder) sliceLen() int {
+	n := d.u32()
+	if d.err == nil && n > maxSliceLen {
+		d.err = fmt.Errorf("wire: slice length %d too large", n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) tuples() []tuple.Tuple {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.tuple())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// --- per-message codecs ---
+
+func (h *Hello) appendTo(b []byte) []byte {
+	b = appendI32(b, h.Slave)
+	b = appendI64(b, h.Epoch)
+	b = appendBool(b, h.Active)
+	b = appendF64(b, h.Occupancy)
+	b = appendI64(b, h.WindowBytes)
+	b = appendI64(b, h.BacklogBytes)
+	b = appendU32(b, uint32(len(h.MoveACKs)))
+	for _, a := range h.MoveACKs {
+		b = appendI64(b, a)
+	}
+	return b
+}
+
+func (h *Hello) decodeFrom(d *decoder) error {
+	h.Slave = d.i32()
+	h.Epoch = d.i64()
+	h.Active = d.bool()
+	h.Occupancy = d.f64()
+	h.WindowBytes = d.i64()
+	h.BacklogBytes = d.i64()
+	n := d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		h.MoveACKs = append(h.MoveACKs, d.i64())
+	}
+	return d.err
+}
+
+func (b *Batch) appendTo(buf []byte) []byte {
+	buf = appendI64(buf, b.Epoch)
+	buf = appendBool(buf, b.Activate)
+	buf = appendBool(buf, b.Deactivate)
+	buf = appendBool(buf, b.Shutdown)
+	buf = appendTuples(buf, b.Tuples)
+	buf = appendU32(buf, uint32(len(b.Directives)))
+	for _, dir := range b.Directives {
+		buf = appendI64(buf, dir.MoveID)
+		buf = appendI32(buf, dir.Group)
+		buf = appendI32(buf, dir.From)
+		buf = appendI32(buf, dir.To)
+	}
+	return buf
+}
+
+func (b *Batch) decodeFrom(d *decoder) error {
+	b.Epoch = d.i64()
+	b.Activate = d.bool()
+	b.Deactivate = d.bool()
+	b.Shutdown = d.bool()
+	b.Tuples = d.tuples()
+	n := d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		b.Directives = append(b.Directives, Directive{
+			MoveID: d.i64(),
+			Group:  d.i32(),
+			From:   d.i32(),
+			To:     d.i32(),
+		})
+	}
+	return d.err
+}
+
+func (st *StateTransfer) appendTo(b []byte) []byte {
+	b = appendI64(b, st.MoveID)
+	b = appendI32(b, st.Group)
+	b = appendU8(b, st.GlobalDepth)
+	b = appendU32(b, uint32(len(st.Buckets)))
+	for _, bk := range st.Buckets {
+		b = appendU8(b, bk.LocalDepth)
+		b = appendU32(b, bk.Bits)
+	}
+	b = appendTuples(b, st.Window[0])
+	b = appendTuples(b, st.Window[1])
+	return appendTuples(b, st.Pending)
+}
+
+func (st *StateTransfer) decodeFrom(d *decoder) error {
+	st.MoveID = d.i64()
+	st.Group = d.i32()
+	st.GlobalDepth = d.u8()
+	n := d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		st.Buckets = append(st.Buckets, BucketSpec{
+			LocalDepth: d.u8(),
+			Bits:       d.u32(),
+		})
+	}
+	st.Window[0] = d.tuples()
+	st.Window[1] = d.tuples()
+	st.Pending = d.tuples()
+	return d.err
+}
+
+func (r *ResultBatch) appendTo(b []byte) []byte {
+	b = appendI32(b, r.Slave)
+	b = appendI64(b, r.Outputs)
+	b = appendI64(b, r.DelaySumMs)
+	b = appendI32(b, r.DelayMinMs)
+	b = appendI32(b, r.DelayMaxMs)
+	for _, h := range r.Hist {
+		b = appendI64(b, h)
+	}
+	return b
+}
+
+func (r *ResultBatch) decodeFrom(d *decoder) error {
+	r.Slave = d.i32()
+	r.Outputs = d.i64()
+	r.DelaySumMs = d.i64()
+	r.DelayMinMs = d.i32()
+	r.DelayMaxMs = d.i32()
+	for i := range r.Hist {
+		r.Hist[i] = d.i64()
+	}
+	return d.err
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"streamjoin/internal/tuple"
+)
+
+func roundtrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Marshal(m)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal(%v): %v", m.Kind(), err)
+	}
+	return got
+}
+
+func TestHelloRoundtrip(t *testing.T) {
+	h := &Hello{
+		Slave:        3,
+		Epoch:        1234567,
+		Active:       true,
+		Occupancy:    0.375,
+		WindowBytes:  1 << 30,
+		BacklogBytes: 4096,
+		MoveACKs:     []int64{9, 10, 11},
+	}
+	got := roundtrip(t, h).(*Hello)
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+}
+
+func TestHelloEmptyACKs(t *testing.T) {
+	h := &Hello{Slave: 1, Epoch: 1}
+	got := roundtrip(t, h).(*Hello)
+	if len(got.MoveACKs) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBatchRoundtrip(t *testing.T) {
+	b := &Batch{
+		Epoch:      42,
+		Activate:   true,
+		Deactivate: false,
+		Tuples: []tuple.Tuple{
+			{Stream: tuple.S1, Key: 100, TS: 5},
+			{Stream: tuple.S2, Key: -7, TS: 6},
+		},
+		Directives: []Directive{{MoveID: 1, Group: 2, From: 3, To: 4}},
+	}
+	got := roundtrip(t, b).(*Batch)
+	if !reflect.DeepEqual(b, got) {
+		t.Fatalf("got %+v want %+v", got, b)
+	}
+}
+
+func TestStateTransferRoundtrip(t *testing.T) {
+	st := &StateTransfer{
+		MoveID:      77,
+		Group:       5,
+		GlobalDepth: 3,
+		Buckets: []BucketSpec{
+			{LocalDepth: 2, Bits: 1},
+			{LocalDepth: 3, Bits: 3},
+			{LocalDepth: 3, Bits: 7},
+		},
+		Pending: []tuple.Tuple{{Stream: tuple.S1, Key: 1, TS: 2}},
+	}
+	st.Window[0] = []tuple.Tuple{{Stream: tuple.S1, Key: 10, TS: 20}}
+	st.Window[1] = []tuple.Tuple{{Stream: tuple.S2, Key: 11, TS: 21}, {Stream: tuple.S2, Key: 12, TS: 22}}
+	got := roundtrip(t, st).(*StateTransfer)
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("got %+v want %+v", got, st)
+	}
+}
+
+func TestResultBatchRoundtrip(t *testing.T) {
+	r := &ResultBatch{
+		Slave:      2,
+		Outputs:    1000,
+		DelaySumMs: 123456,
+		DelayMinMs: 3,
+		DelayMaxMs: 999,
+	}
+	for i := range r.Hist {
+		r.Hist[i] = int64(i * i)
+	}
+	got := roundtrip(t, r).(*ResultBatch)
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("got %+v want %+v", got, r)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+	if _, err := Unmarshal([]byte{200}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	// Truncated Hello.
+	b := Marshal(&Hello{Slave: 1, Epoch: 2, MoveACKs: []int64{1, 2}})
+	for cut := 1; cut < len(b); cut += 7 {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Unmarshal(append(Marshal(&Hello{}), 0xff)); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+	// Hostile slice length.
+	bad := []byte{byte(KindBatch)}
+	bad = appendI64(bad, 1)
+	bad = appendBool(bad, false)
+	bad = appendBool(bad, false)
+	bad = appendU32(bad, math.MaxUint32) // claimed tuple count
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("oversized slice length not rejected")
+	}
+}
+
+func randomTuples(r *rand.Rand, n int) []tuple.Tuple {
+	if n == 0 {
+		return nil
+	}
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			Stream: tuple.StreamID(r.Intn(2)),
+			Key:    r.Int31(),
+			TS:     r.Int31(),
+		}
+	}
+	return out
+}
+
+func TestQuickBatchRoundtrip(t *testing.T) {
+	f := func(epoch int64, act, deact bool, seed int64, nt, nd uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := &Batch{Epoch: epoch, Activate: act, Deactivate: deact,
+			Tuples: randomTuples(r, int(nt))}
+		for i := 0; i < int(nd)%8; i++ {
+			b.Directives = append(b.Directives, Directive{
+				MoveID: r.Int63(), Group: r.Int31(), From: r.Int31(), To: r.Int31(),
+			})
+		}
+		got, err := Unmarshal(Marshal(b))
+		return err == nil && reflect.DeepEqual(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStateTransferRoundtrip(t *testing.T) {
+	f := func(moveID int64, group int32, gd uint8, seed int64, n0, n1, np uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := &StateTransfer{MoveID: moveID, Group: group, GlobalDepth: gd % 16}
+		for i := 0; i < int(gd)%5; i++ {
+			st.Buckets = append(st.Buckets, BucketSpec{LocalDepth: uint8(r.Intn(16)), Bits: r.Uint32() & 0xffff})
+		}
+		st.Window[0] = randomTuples(r, int(n0))
+		st.Window[1] = randomTuples(r, int(n1))
+		st.Pending = randomTuples(r, int(np))
+		got, err := Unmarshal(Marshal(st))
+		return err == nil && reflect.DeepEqual(got, st)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizeAccountsTuples(t *testing.T) {
+	b := &Batch{Tuples: randomTuples(rand.New(rand.NewSource(1)), 10)}
+	empty := &Batch{}
+	if b.WireSize()-empty.WireSize() != 10*tuple.LogicalSize {
+		t.Fatalf("batch tuple accounting: %d vs %d", b.WireSize(), empty.WireSize())
+	}
+	r := &ResultBatch{Outputs: 5}
+	r0 := &ResultBatch{}
+	if r.WireSize()-r0.WireSize() != 5*tuple.ResultSize {
+		t.Fatal("result batches must charge composite result size")
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{Slave: 1, Epoch: 2, Active: true, Occupancy: 0.5},
+		&Batch{Epoch: 3, Tuples: randomTuples(rand.New(rand.NewSource(2)), 100)},
+		&ResultBatch{Slave: 1, Outputs: 7},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame roundtrip: got %+v want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("read past end should fail")
+	}
+}
+
+func TestFrameRejectsOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame length not rejected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindHello, KindBatch, KindStateTransfer, KindResultBatch} {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Fatalf("bad name %q", k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}

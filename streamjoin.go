@@ -1,0 +1,96 @@
+// Package streamjoin is a parallel sliding-window stream join for
+// shared-nothing clusters, reproducing Chakraborty & Singh, "Parallelizing
+// Windowed Stream Joins in a Shared-Nothing Cluster" (IEEE CLUSTER 2013,
+// arXiv:1307.6574).
+//
+// A master node hash-partitions two input streams into partition-groups and
+// distributes them to slave nodes on a fixed per-epoch communication
+// schedule; slaves run windowed nested-loop join modules with fine-grained
+// partition tuning (extendible hashing), report buffer occupancy, and move
+// partition-group state between suppliers and consumers under the master's
+// control, which also adapts the degree of declustering.
+//
+// Two engines execute the same protocol code:
+//
+//   - RunSimulation runs on a deterministic discrete-event cluster model
+//     calibrated to the paper's testbed; the experiment API regenerates
+//     every figure of the paper's evaluation on it.
+//   - RunLive runs on real goroutines with in-process rendezvous
+//     connections and honest nested-loop scans; the cmd/sjoin-master and
+//     cmd/sjoin-slave binaries deploy the same code over TCP.
+//
+// Quickstart:
+//
+//	cfg := streamjoin.DefaultConfig()
+//	cfg.Slaves = 4
+//	cfg.Rate = 3000
+//	res, err := streamjoin.RunSimulation(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.MeanDelay(), res.Outputs)
+package streamjoin
+
+import (
+	"streamjoin/internal/core"
+	"streamjoin/internal/experiment"
+)
+
+// Config holds every knob of the system; see DefaultConfig for the paper's
+// Table I defaults.
+type Config = core.Config
+
+// Result carries every measured metric of a run.
+type Result = core.Result
+
+// CostModel is the simulated CPU cost model.
+type CostModel = core.CostModel
+
+// RateStep is one step of a piecewise-constant workload rate schedule.
+type RateStep = core.RateStep
+
+// DoDSample records the degree of declustering at a reorganization point.
+type DoDSample = core.DoDSample
+
+// DefaultConfig returns the paper's Table I defaults.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultCostModel returns the calibrated simulated CPU cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// RunSimulation executes the system on the simulated cluster. It is
+// deterministic for a given Config.
+func RunSimulation(cfg Config) (*Result, error) { return core.RunSim(cfg) }
+
+// RunLive executes the system on real goroutines with in-process
+// connections; durations are wall-clock.
+func RunLive(cfg Config) (*Result, error) { return core.RunLive(cfg) }
+
+// Figure is a regenerated evaluation plot (data table).
+type Figure = experiment.Figure
+
+// FigureGenerator produces one of the paper's figures.
+type FigureGenerator = experiment.Generator
+
+// ExperimentOptions configures figure generation (scale, seed, progress).
+type ExperimentOptions = experiment.Options
+
+// Experiment fidelity scales.
+const (
+	// FullScale reproduces the paper's exact setup (10-minute windows,
+	// 20-minute runs).
+	FullScale = experiment.Full
+	// QuickScale shrinks windows and runs for fast regeneration; shapes
+	// are preserved.
+	QuickScale = experiment.Quick
+	// TinyScale is the benchmark smoke scale: trimmed sweeps, 90-second
+	// runs.
+	TinyScale = experiment.Tiny
+)
+
+// Figures lists the generators for Figures 5-14 of the paper.
+func Figures() []FigureGenerator { return experiment.All() }
+
+// FigureByID returns a single figure generator ("fig5" .. "fig14").
+func FigureByID(id string) (FigureGenerator, bool) { return experiment.ByID(id) }
+
+// TableI renders the paper's default-parameter table.
+func TableI() string { return experiment.TableI() }

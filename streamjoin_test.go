@@ -1,0 +1,55 @@
+package streamjoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamjoin"
+)
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	cfg := streamjoin.DefaultConfig()
+	if cfg.WindowMs != 600_000 {
+		t.Fatalf("W = %d ms, want 10 min", cfg.WindowMs)
+	}
+	if cfg.Rate != 1500 || cfg.Skew != 0.7 {
+		t.Fatalf("workload defaults: rate=%v b=%v", cfg.Rate, cfg.Skew)
+	}
+	if cfg.Theta != 1_500_000 || cfg.DistEpochMs != 2000 || cfg.ReorgEpochMs != 20_000 {
+		t.Fatalf("θ/t_d/t_r defaults wrong")
+	}
+	if cfg.ThCon != 0.01 || cfg.ThSup != 0.5 || cfg.Partitions != 60 {
+		t.Fatalf("threshold/partition defaults wrong")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSimulationRoundtrip(t *testing.T) {
+	cfg := streamjoin.DefaultConfig()
+	cfg.Slaves = 2
+	cfg.Rate = 500
+	cfg.WindowMs = 20_000
+	cfg.DurationMs = 60_000
+	cfg.WarmupMs = 30_000
+	res, err := streamjoin.RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 || res.MeanDelay() <= 0 {
+		t.Fatalf("empty result: %+v", res.Delay)
+	}
+}
+
+func TestFiguresListedAndTableIRenders(t *testing.T) {
+	if n := len(streamjoin.Figures()); n != 10 {
+		t.Fatalf("figures = %d", n)
+	}
+	if !strings.Contains(streamjoin.TableI(), "Table I") {
+		t.Fatal("TableI rendering")
+	}
+	if _, ok := streamjoin.FigureByID("fig13"); !ok {
+		t.Fatal("FigureByID")
+	}
+}
