@@ -196,10 +196,64 @@ func BenchmarkATRBaseline(b *testing.B) {
 
 func BenchmarkJoinRoundIndexed(b *testing.B) { benchJoinRound(b, join.ModeIndexed) }
 func BenchmarkJoinRoundScan(b *testing.B)    { benchJoinRound(b, join.ModeScan) }
+func BenchmarkJoinRoundHash(b *testing.B)    { benchJoinRound(b, join.ModeHash) }
+
+// BenchmarkLiveProberScan/Hash compare end-to-end live-engine throughput of
+// the two live probers on the equi-join workload at Table I parameters
+// (rate 1500 t/s per stream, skew 0.7, domain 10M, θ = 1.5 MB, t_d = 2 s;
+// the 10-minute window is shrunk to the Tiny smoke scale's 30 s, which keeps
+// the scan baseline's nested loops finishing within benchtime). Each
+// iteration is one full distribution epoch through the join module —
+// ingestion, probing, block expiry, and fine tuning — exactly what a live
+// slave executes per round. The "tuples/sec" metric is the sustained
+// processing rate; ModeHash must beat ModeScan by well over 5×.
+func BenchmarkLiveProberScan(b *testing.B) { benchLiveProber(b, join.ModeScan) }
+func BenchmarkLiveProberHash(b *testing.B) { benchLiveProber(b, join.ModeHash) }
+
+func benchLiveProber(b *testing.B, mode join.Mode) {
+	cfg := join.Config{
+		WindowMs: 30_000,
+		Theta:    1_500_000,
+		FineTune: true,
+		Mode:     mode,
+		Expiry:   join.ExpiryBlocks, // the live engine's policy
+	}
+	m := join.MustNew(cfg)
+	s1, s2 := workload.Pair(workload.Config{
+		Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
+	})
+	const epochMs = 2_000 // t_d
+	now := int32(0)
+	nextEpoch := func() []tuple.Tuple {
+		batch := workload.Merge(s1.Batch(now, now+epochMs), s2.Batch(now, now+epochMs))
+		now += epochMs
+		return batch
+	}
+	// Fill the window to steady state (generation excluded from the timer).
+	for now < cfg.WindowMs {
+		end := now + epochMs // hoisted: nextEpoch mutates now
+		m.Process(0, end, nextEpoch())
+	}
+	epochs := make([][]tuple.Tuple, b.N)
+	for i := range epochs {
+		epochs[i] = nextEpoch()
+	}
+	b.ResetTimer()
+	tuples, outputs := 0, int64(0)
+	t0 := now - int32(b.N)*epochMs
+	for i, batch := range epochs {
+		res := m.Process(0, t0+int32(i+1)*epochMs, batch)
+		tuples += len(batch)
+		outputs += res.Outputs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+	b.ReportMetric(float64(outputs)/float64(b.N), "outputs/epoch")
+}
 
 func benchJoinRound(b *testing.B, mode join.Mode) {
 	cfg := join.Config{WindowMs: 60_000, Theta: 96 << 10, FineTune: true, Mode: mode}
-	m := join.New(cfg)
+	m := join.MustNew(cfg)
 	r := rand.New(rand.NewSource(1))
 	now := int32(0)
 	mkBatch := func(n int) []tuple.Tuple {

@@ -5,8 +5,9 @@
 //
 // Two synthetic Poisson streams (500 tuples/s each, b-model skewed keys) are
 // ingested by the master, hash-partitioned into partition-groups, and joined
-// over 5-second sliding windows by two slave nodes running honest
-// block-nested-loop scans with fine-grained partition tuning.
+// over 5-second sliding windows by two slave nodes running the hash-index
+// prober (set cfg.LiveProber = streamjoin.ProberScan for the paper's
+// block-nested-loop scans) with fine-grained partition tuning.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module streamjoin
+
+go 1.24

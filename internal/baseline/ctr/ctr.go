@@ -187,7 +187,7 @@ func Run(cfg Config) (*Result, error) {
 	for i := range slaveNds {
 		i := i
 		slaveNds[i].Start(func(nd *simnet.Node) {
-			mod := join.New(joinCfg)
+			mod := join.MustNew(joinCfg)
 			for {
 				msg := sEps[i].Recv()
 				pb := msg.Payload.(*probeBatch)

@@ -5,9 +5,11 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
 	"time"
 
 	"streamjoin/internal/core"
+	"streamjoin/internal/join"
 )
 
 // Bind registers flags for every user-facing Config field onto fs and
@@ -37,6 +39,19 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		duration = fs.Duration("duration", time.Duration(def.DurationMs)*time.Millisecond, "run length")
 		warmup   = fs.Duration("warmup", time.Duration(def.WarmupMs)*time.Millisecond, "warm-up discarded from metrics")
 	)
+	prober := def.LiveProber
+	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
+		func(v string) error {
+			switch v {
+			case "hash":
+				prober = join.ModeHash
+			case "scan":
+				prober = join.ModeScan
+			default:
+				return fmt.Errorf("unknown prober %q (want hash or scan)", v)
+			}
+			return nil
+		})
 	return func() core.Config {
 		cfg := core.DefaultConfig()
 		cfg.Slaves = *slaves
@@ -60,6 +75,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.Seed = *seed
 		cfg.DurationMs = int32(*duration / time.Millisecond)
 		cfg.WarmupMs = int32(*warmup / time.Millisecond)
+		cfg.LiveProber = prober
 		return cfg
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"streamjoin/internal/core"
+	"streamjoin/internal/join"
 )
 
 func TestDefaultsMatchDefaultConfig(t *testing.T) {
@@ -46,5 +47,28 @@ func TestFlagOverrides(t *testing.T) {
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProberFlag(t *testing.T) {
+	parse := func(args ...string) (core.Config, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		get := Bind(fs)
+		if err := fs.Parse(args); err != nil {
+			return core.Config{}, err
+		}
+		return get(), nil
+	}
+	if cfg, err := parse(); err != nil || cfg.LiveProber != join.ModeHash {
+		t.Fatalf("default prober = %v (err %v), want hash", cfg.LiveProber, err)
+	}
+	if cfg, err := parse("-prober", "scan"); err != nil || cfg.LiveProber != join.ModeScan {
+		t.Fatalf("-prober scan = %v (err %v)", cfg.LiveProber, err)
+	}
+	if cfg, err := parse("-prober", "hash"); err != nil || cfg.LiveProber != join.ModeHash {
+		t.Fatalf("-prober hash = %v (err %v)", cfg.LiveProber, err)
+	}
+	if _, err := parse("-prober", "quantum"); err == nil {
+		t.Fatal("unknown prober should fail to parse")
 	}
 }

@@ -125,9 +125,14 @@ type Config struct {
 	// can honor epoch boundaries while backlogged.
 	ChunkTuples int
 	// Mode and Expiry select the join prober and expiration policy; RunSim
-	// forces Indexed/Exact, the live runner defaults to Scan/Blocks.
+	// forces Indexed/Exact, the live engines force LiveProber/Blocks.
 	Mode   join.Mode
 	Expiry join.Expiry
+	// LiveProber selects the prober the live engines (RunLive and the TCP
+	// deployment) run: join.ModeHash (the default, key→tuple-slot indexes,
+	// O(matches) probes) or join.ModeScan (the paper's block-nested-loop
+	// scan, kept as the ablation baseline). The simulation ignores it.
+	LiveProber join.Mode
 }
 
 // DefaultConfig returns the paper's Table I defaults on the calibrated
@@ -160,6 +165,7 @@ func DefaultConfig() Config {
 		ChunkTuples:        4096,
 		Mode:               join.ModeIndexed,
 		Expiry:             join.ExpiryExact,
+		LiveProber:         join.ModeHash,
 	}
 }
 
@@ -200,6 +206,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: run interval [%d, %d) empty", c.WarmupMs, c.DurationMs)
 	case c.ChunkTuples < 1:
 		return fmt.Errorf("core: ChunkTuples = %d", c.ChunkTuples)
+	case c.LiveProber != join.ModeHash && c.LiveProber != join.ModeScan:
+		return fmt.Errorf("core: LiveProber = %v, want hash or scan", c.LiveProber)
 	case c.Beta <= 0 || c.Beta >= 1:
 		return fmt.Errorf("core: Beta = %v, want (0,1)", c.Beta)
 	case len(c.BackgroundLoad) > c.Slaves:

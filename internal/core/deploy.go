@@ -39,7 +39,7 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg.Mode = join.ModeScan
+	cfg.Mode = cfg.LiveProber
 	cfg.Expiry = join.ExpiryBlocks
 
 	ctlLn, err := net.Listen("tcp", ctlAddr)
@@ -176,7 +176,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 	if len(meshAddrs) != cfg.Slaves {
 		return fmt.Errorf("core: %d mesh addresses for %d slaves", len(meshAddrs), cfg.Slaves)
 	}
-	cfg.Mode = join.ModeScan
+	cfg.Mode = cfg.LiveProber
 	cfg.Expiry = join.ExpiryBlocks
 
 	env := engine.NewLiveEnv()

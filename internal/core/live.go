@@ -68,14 +68,15 @@ func feedSources(env *engine.LiveEnv, cfg *Config, ch chan tuple.Tuple, stop *at
 }
 
 // RunLive executes the full system on real goroutines with in-process
-// rendezvous transports. The join module performs honest nested-loop scans
-// (ModeScan) with the paper's block-granularity expiry. Configuration
-// durations are wall-clock: keep them short.
+// rendezvous transports. The join module runs the configured LiveProber —
+// hash-index probing by default, honest nested-loop scans (ModeScan) as the
+// ablation baseline — with the paper's block-granularity expiry.
+// Configuration durations are wall-clock: keep them short.
 func RunLive(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg.Mode = join.ModeScan
+	cfg.Mode = cfg.LiveProber
 	cfg.Expiry = join.ExpiryBlocks
 
 	env := engine.NewLiveEnv()

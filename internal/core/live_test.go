@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"streamjoin/internal/join"
 )
 
 // liveConfig is a short wall-clock configuration for live-engine tests.
@@ -39,6 +41,24 @@ func TestRunLiveSmoke(t *testing.T) {
 		t.Fatalf("mean delay = %v", res.MeanDelay())
 	}
 	t.Logf("live: outputs=%d delay=%v epochs=%d", res.Outputs, res.MeanDelay(), res.EpochsServed)
+}
+
+// TestRunLiveScanAblation runs the live engine with the ModeScan ablation
+// prober (the paper's nested-loop algorithm) and checks it still produces
+// outputs, keeping the ModeHash-vs-ModeScan benchmark comparison honest.
+func TestRunLiveScanAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	cfg := liveConfig()
+	cfg.LiveProber = join.ModeScan
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 {
+		t.Fatal("scan-ablation live cluster produced no outputs")
+	}
 }
 
 func TestRunLiveWithMovements(t *testing.T) {

@@ -53,7 +53,7 @@ func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []
 		mst:      mst,
 		peer:     peers,
 		coll:     coll,
-		mod:      join.New(cfg.joinConfig()),
+		mod:      join.MustNew(cfg.joinConfig()),
 		input:    make(map[int32][]tuple.Tuple),
 		rb:       &wire.ResultBatch{Slave: id},
 		active:   active,

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"streamjoin/internal/join"
 )
 
 func mustRun(t *testing.T, cfg Config) *Result {
@@ -51,6 +53,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.PartitionsPerGroup = 7 }, // does not divide 60
 		func(c *Config) { c.WindowMs = 0 },
 		func(c *Config) { c.Theta = 0 },
+		func(c *Config) { c.LiveProber = join.ModeIndexed },
+		func(c *Config) { c.LiveProber = join.ModeHash + 1 },
 		func(c *Config) { c.DistEpochMs = 0 },
 		func(c *Config) { c.ReorgEpochMs = c.DistEpochMs + 1 },
 		func(c *Config) { c.ThCon, c.ThSup = 0.5, 0.01 },
@@ -90,6 +94,9 @@ func overloadConfig(slaves int, rate float64) Config {
 }
 
 func TestOverloadIncreasesDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	light := mustRun(t, overloadConfig(1, 1000))
 	heavy := mustRun(t, overloadConfig(1, 8000))
 	if light.MeanDelay() > time.Second {
@@ -106,6 +113,9 @@ func TestOverloadIncreasesDelay(t *testing.T) {
 }
 
 func TestMoreSlavesAddCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	one := mustRun(t, overloadConfig(1, 8000))
 	four := mustRun(t, overloadConfig(4, 8000))
 	if four.MeanDelay() >= one.MeanDelay()/2 {
@@ -115,6 +125,9 @@ func TestMoreSlavesAddCapacity(t *testing.T) {
 }
 
 func TestFineTuningReducesCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	base := overloadConfig(2, 4000)
 	base.Theta = 64 * 1024
 	tuned := base
@@ -139,6 +152,9 @@ func TestFineTuningReducesCPU(t *testing.T) {
 }
 
 func TestLoadBalancingShedsFromSupplier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	// The paper's non-dedicated cluster: slave 0 loses most of its CPU to
 	// background work and saturates; slave 1 keeps up effortlessly. The
 	// controller must classify 0 as supplier and migrate groups to 1.
@@ -157,6 +173,9 @@ func TestLoadBalancingShedsFromSupplier(t *testing.T) {
 }
 
 func TestLoadBalancingRecoversDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	// With balancing disabled the slow slave backlogs; its unprocessed
 	// tuples age (delay up) and their partners expire before joining
 	// (outputs down). Balancing sheds the load to the fast slave and
@@ -180,6 +199,9 @@ func TestLoadBalancingRecoversDelay(t *testing.T) {
 }
 
 func TestAdaptiveGrowsUnderOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	cfg := overloadConfig(4, 9000)
 	cfg.InitialActive = 1
 	cfg.Adaptive = true
@@ -240,6 +262,9 @@ func TestSubGroupsReduceMasterPeakBuffer(t *testing.T) {
 }
 
 func TestOutputsCompleteAcrossMovements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style simulation")
+	}
 	// The same workload processed with and without load movements must
 	// produce (nearly) the same join outputs: movements shift processing
 	// in time but never lose or duplicate pairs. The small band covers

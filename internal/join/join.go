@@ -22,11 +22,16 @@
 // # Probers
 //
 // ModeScan performs the honest block-nested-loop scan, tuple comparisons and
-// all — this is what the live engine runs. ModeIndexed maintains per-bucket
-// key→count maps and produces identical match counts in O(1) per probe while
-// *reporting* the scan length the nested loop would have performed; the
-// simulation charges virtual CPU from that figure. The equivalence of the
-// two modes is asserted by tests against a brute-force reference join.
+// all — the paper's algorithm and the live engine's ablation baseline.
+// ModeIndexed maintains per-bucket key→count maps and produces identical
+// match counts in O(1) per probe while *reporting* the scan length the
+// nested loop would have performed; the simulation charges virtual CPU from
+// that figure. ModeHash maintains per-bucket key→tuple-slot indexes over the
+// windowed stores and emits the actual matching pairs in O(matches) per
+// probe — the live engine's default prober. The index is kept coherent
+// across every mutation path of the window store: ingestion, block and exact
+// expiry, and bucket splits and merges under fine tuning. The equivalence of
+// the three modes is asserted by tests against a brute-force reference join.
 package join
 
 import (
@@ -44,9 +49,24 @@ type Mode uint8
 const (
 	// ModeIndexed matches via key→count maps (simulation).
 	ModeIndexed Mode = iota
-	// ModeScan matches via real nested-loop scans (live engine).
+	// ModeScan matches via real nested-loop scans (live ablation baseline).
 	ModeScan
+	// ModeHash matches via per-bucket key→tuple-slot indexes and emits the
+	// actual matching pairs in O(matches) per probe (live default).
+	ModeHash
 )
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIndexed:
+		return "indexed"
+	case ModeScan:
+		return "scan"
+	case ModeHash:
+		return "hash"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
 
 // Expiry selects the window expiration policy.
 type Expiry uint8
@@ -76,16 +96,24 @@ type Config struct {
 	MaxDepth uint
 }
 
+// Validate checks the configuration; New returns its error, so a
+// misconfigured deployment is reported instead of crashing the process.
+func (c *Config) Validate() error {
+	switch {
+	case c.WindowMs <= 0:
+		return fmt.Errorf("join: WindowMs = %d, want > 0", c.WindowMs)
+	case c.FineTune && c.Theta <= 0:
+		return fmt.Errorf("join: Theta = %d, want > 0 when fine tuning", c.Theta)
+	case c.Mode > ModeHash:
+		return fmt.Errorf("join: unknown prober %v", c.Mode)
+	}
+	return nil
+}
+
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.MaxDepth == 0 {
 		out.MaxDepth = exthash.DefaultMaxDepth
-	}
-	if out.WindowMs <= 0 {
-		panic("join: WindowMs must be positive")
-	}
-	if out.FineTune && out.Theta <= 0 {
-		panic("join: Theta must be positive when fine tuning")
 	}
 	return out
 }
@@ -98,12 +126,22 @@ type Match struct {
 	N  int64
 }
 
+// Pair is one materialized join output: the probing tuple and the stored
+// window tuple (of the opposite stream) it matched. The scan and hash
+// probers fill Pairs; the simulation's indexed prober only counts.
+type Pair struct {
+	Probe  tuple.Tuple
+	Stored tuple.Packed
+}
+
 // RoundResult summarizes one group's processing round for the cost model
 // and metrics.
 type RoundResult struct {
-	Matches    []Match
-	Outputs    int64 // total pairs (sum of Matches[i].N)
-	Scanned    int64 // tuples visited by the (modeled or real) nested loop
+	Matches []Match
+	Pairs   []Pair // materialized outputs (ModeScan and ModeHash)
+	Outputs int64  // total pairs (sum of Matches[i].N)
+	Scanned int64  // tuples visited by the probe (full scan length for
+	// ModeIndexed/ModeScan; index entries visited for ModeHash)
 	Ingested   int   // tuples appended to windows
 	Expired    int   // tuples expired from windows
 	SplitMoves int64 // tuples relocated by splits and merges
@@ -119,9 +157,24 @@ type Module struct {
 	merges int64
 }
 
-// New returns an empty module.
-func New(cfg Config) *Module {
-	return &Module{cfg: cfg.withDefaults(), groups: make(map[int32]*Group)}
+// New returns an empty module, or an error when the configuration is
+// invalid.
+func New(cfg Config) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Module{cfg: cfg.withDefaults(), groups: make(map[int32]*Group)}, nil
+}
+
+// MustNew is New for configurations already validated by the caller (the
+// engines validate the system Config up front; tests construct known-good
+// ones). It panics on error.
+func MustNew(cfg Config) *Module {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Config returns the module configuration.
@@ -203,15 +256,20 @@ func (m *Module) Process(id int32, nowMs int32, tuples []tuple.Tuple) RoundResul
 // bucket is one fine-tuning unit: a mini-partition-group in paper terms.
 type bucket struct {
 	w      [2]*window.Store
-	counts [2]map[int32]int32 // key → live count; ModeIndexed only
+	counts [2]map[int32]int32   // key → live count; ModeIndexed only
+	idx    [2]map[int32][]int64 // key → live tuple slots, ascending; ModeHash only
 }
 
 func newBucket(mode Mode) *bucket {
 	b := &bucket{}
 	b.w[0], b.w[1] = window.NewStore(), window.NewStore()
-	if mode == ModeIndexed {
+	switch mode {
+	case ModeIndexed:
 		b.counts[0] = make(map[int32]int32)
 		b.counts[1] = make(map[int32]int32)
+	case ModeHash:
+		b.idx[0] = make(map[int32][]int64)
+		b.idx[1] = make(map[int32][]int64)
 	}
 	return b
 }
@@ -219,28 +277,66 @@ func newBucket(mode Mode) *bucket {
 func (b *bucket) bytes() int64 { return b.w[0].Bytes() + b.w[1].Bytes() }
 
 func (b *bucket) ingest(mode Mode, t tuple.Tuple) {
-	s := int(t.Stream)
-	b.w[s].Append(t.Packed())
-	if mode == ModeIndexed {
-		b.counts[s][t.Key]++
+	b.ingestPacked(mode, int(t.Stream), t.Packed())
+}
+
+// ingestPacked appends p to stream s's window and keeps the prober's
+// auxiliary structures coherent. Every path that grows a store — round
+// ingestion, split relocation, state installation — goes through it.
+func (b *bucket) ingestPacked(mode Mode, s int, p tuple.Packed) {
+	b.w[s].Append(p)
+	switch mode {
+	case ModeIndexed:
+		b.counts[s][p.Key]++
+	case ModeHash:
+		b.idx[s][p.Key] = append(b.idx[s][p.Key], b.w[s].Appended()-1)
 	}
+}
+
+// onExpire returns the per-tuple expiry callback that keeps stream s's
+// auxiliary structures coherent, or nil when the mode needs none. Stores
+// expire strictly oldest-first, so for ModeHash the expiring tuple's slot is
+// always the head of its key's slot list.
+func (b *bucket) onExpire(mode Mode, s int) func(tuple.Packed) {
+	switch mode {
+	case ModeIndexed:
+		counts := b.counts[s]
+		return func(p tuple.Packed) {
+			if c := counts[p.Key] - 1; c > 0 {
+				counts[p.Key] = c
+			} else {
+				delete(counts, p.Key)
+			}
+		}
+	case ModeHash:
+		idx := b.idx[s]
+		return func(p tuple.Packed) {
+			if l := idx[p.Key]; len(l) > 1 {
+				idx[p.Key] = l[1:]
+			} else {
+				delete(idx, p.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildIndex reconstructs stream s's hash index from the store content
+// (used after a buddy merge, which rebuilds the store wholesale).
+func (b *bucket) rebuildIndex(s int) {
+	idx := make(map[int32][]int64)
+	seq := b.w[s].Expired()
+	b.w[s].All(func(p tuple.Packed) {
+		idx[p.Key] = append(idx[p.Key], seq)
+		seq++
+	})
+	b.idx[s] = idx
 }
 
 // countIn returns the number of live tuples of stream s with the given key
 // (indexed mode only).
 func (b *bucket) countIn(s int, key int32) int64 {
 	return int64(b.counts[s][key])
-}
-
-// scanCount performs the real nested-loop count (scan mode).
-func (b *bucket) scanCount(s int, key int32) int64 {
-	var n int64
-	b.w[s].All(func(p tuple.Packed) {
-		if p.Key == key {
-			n++
-		}
-	})
-	return n
 }
 
 // Group is one partition-group: the unit of load movement, holding a
@@ -319,17 +415,7 @@ func (g *Group) process(nowMs int32, tuples []tuple.Tuple) RoundResult {
 	cutoff := nowMs - g.cfg.WindowMs
 	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
 		for s := 0; s < 2; s++ {
-			var onExp func(tuple.Packed)
-			if mode == ModeIndexed {
-				counts := b.counts[s]
-				onExp = func(p tuple.Packed) {
-					if c := counts[p.Key] - 1; c > 0 {
-						counts[p.Key] = c
-					} else {
-						delete(counts, p.Key)
-					}
-				}
-			}
+			onExp := b.onExpire(mode, s)
 			if g.cfg.Expiry == ExpiryExact {
 				res.Expired += b.w[s].ExpireExact(cutoff, onExp)
 			} else {
@@ -352,40 +438,48 @@ func (g *Group) ProbeOnly(tuples []tuple.Tuple) RoundResult {
 	var res RoundResult
 	for _, t := range tuples {
 		b := g.bucketFor(t.Key)
-		opp := int(t.Stream.Opposite())
-		var n int64
-		if g.cfg.Mode == ModeIndexed {
-			n = b.countIn(opp, t.Key)
-		} else {
-			n = b.scanCount(opp, t.Key)
-		}
-		res.Scanned += int64(b.w[opp].Len())
-		if n > 0 {
-			res.Matches = append(res.Matches, Match{TS: t.TS, N: n})
-			res.Outputs += n
-		}
+		g.probeOne(b, &res, t, int(t.Stream.Opposite()))
 	}
 	return res
 }
 
 // probe joins the fresh tuples against stream opp of bucket b.
 func (g *Group) probe(b *bucket, res *RoundResult, fresh []tuple.Tuple, opp int) {
-	if len(fresh) == 0 {
-		return
-	}
-	scanLen := int64(b.w[opp].Len())
 	for _, t := range fresh {
-		var n int64
-		if g.cfg.Mode == ModeIndexed {
-			n = b.countIn(opp, t.Key)
-		} else {
-			n = b.scanCount(opp, t.Key)
+		g.probeOne(b, res, t, opp)
+	}
+}
+
+// probeOne joins one probe tuple against stream opp of bucket b, recording
+// the match (and, for the scan and hash probers, the materialized pairs) in
+// res. Scanned is charged with the tuples the probe actually visits: the
+// whole opposite store for the nested-loop modes, only the matching slots
+// for the hash index.
+func (g *Group) probeOne(b *bucket, res *RoundResult, t tuple.Tuple, opp int) {
+	var n int64
+	switch g.cfg.Mode {
+	case ModeIndexed:
+		n = b.countIn(opp, t.Key)
+		res.Scanned += int64(b.w[opp].Len())
+	case ModeScan:
+		b.w[opp].All(func(p tuple.Packed) {
+			if p.Key == t.Key {
+				n++
+				res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: p})
+			}
+		})
+		res.Scanned += int64(b.w[opp].Len())
+	case ModeHash:
+		slots := b.idx[opp][t.Key]
+		for _, seq := range slots {
+			res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: b.w[opp].At(seq)})
 		}
-		res.Scanned += scanLen
-		if n > 0 {
-			res.Matches = append(res.Matches, Match{TS: t.TS, N: n})
-			res.Outputs += n
-		}
+		n = int64(len(slots))
+		res.Scanned += n
+	}
+	if n > 0 {
+		res.Matches = append(res.Matches, Match{TS: t.TS, N: n})
+		res.Outputs += n
 	}
 }
 
@@ -417,10 +511,7 @@ func (g *Group) tune(res *RoundResult) {
 						if tuple.FineHash(p.Key)>>bit&1 == 1 {
 							dst = one
 						}
-						dst.w[s].Append(p)
-						if g.cfg.Mode == ModeIndexed {
-							dst.counts[s][p.Key]++
-						}
+						dst.ingestPacked(g.cfg.Mode, s, p)
 						res.SplitMoves++
 					})
 				}
@@ -452,7 +543,8 @@ func (g *Group) tune(res *RoundResult) {
 					m := &bucket{}
 					m.w[0] = window.MergeStores(zero.w[0], one.w[0])
 					m.w[1] = window.MergeStores(zero.w[1], one.w[1])
-					if g.cfg.Mode == ModeIndexed {
+					switch g.cfg.Mode {
+					case ModeIndexed:
 						for s := 0; s < 2; s++ {
 							m.counts[s] = make(map[int32]int32, len(zero.counts[s])+len(one.counts[s]))
 							for k, v := range zero.counts[s] {
@@ -462,6 +554,9 @@ func (g *Group) tune(res *RoundResult) {
 								m.counts[s][k] += v
 							}
 						}
+					case ModeHash:
+						m.rebuildIndex(0)
+						m.rebuildIndex(1)
 					}
 					res.SplitMoves += int64(m.w[0].Len() + m.w[1].Len())
 					return m

@@ -26,10 +26,12 @@ func tup(s tuple.StreamID, key, ts int32) tuple.Tuple {
 
 // refJoin is a brute-force reference implementation of the round semantics
 // with exact expiry: fresh(S1)×live(S2), then fresh(S2)×(live(S1)∪fresh(S1)),
-// then expiry at now−W.
+// then expiry at now−W. It also materializes every output pair into pairs
+// (cumulative across rounds) for match-set equivalence tests.
 type refJoin struct {
-	W    int32
-	live [2][]tuple.Tuple
+	W     int32
+	live  [2][]tuple.Tuple
+	pairs []Pair
 }
 
 func (r *refJoin) round(now int32, tuples []tuple.Tuple) int64 {
@@ -42,6 +44,7 @@ func (r *refJoin) round(now int32, tuples []tuple.Tuple) int64 {
 		for _, o := range r.live[1] {
 			if o.Key == t.Key {
 				out++
+				r.pairs = append(r.pairs, Pair{Probe: t, Stored: o.Packed()})
 			}
 		}
 	}
@@ -50,6 +53,7 @@ func (r *refJoin) round(now int32, tuples []tuple.Tuple) int64 {
 		for _, o := range r.live[0] {
 			if o.Key == t.Key {
 				out++
+				r.pairs = append(r.pairs, Pair{Probe: t, Stored: o.Packed()})
 			}
 		}
 	}
@@ -88,8 +92,8 @@ func randRoundsFrom(seed int64, rounds, perRound int, domain, baseTS int32) [][]
 }
 
 func TestFirstPairProducesOneOutput(t *testing.T) {
-	for _, mode := range []Mode{ModeIndexed, ModeScan} {
-		m := New(testCfg(mode))
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		m := MustNew(testCfg(mode))
 		res := m.Process(0, 10, []tuple.Tuple{tup(tuple.S1, 7, 1), tup(tuple.S2, 7, 2)})
 		if res.Outputs != 1 {
 			t.Fatalf("mode %d: outputs = %d, want 1 (fresh×fresh joined once)", mode, res.Outputs)
@@ -101,8 +105,8 @@ func TestFirstPairProducesOneOutput(t *testing.T) {
 }
 
 func TestNoDuplicateAcrossRounds(t *testing.T) {
-	for _, mode := range []Mode{ModeIndexed, ModeScan} {
-		m := New(testCfg(mode))
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		m := MustNew(testCfg(mode))
 		r1 := m.Process(0, 10, []tuple.Tuple{tup(tuple.S1, 7, 1)})
 		r2 := m.Process(0, 20, []tuple.Tuple{tup(tuple.S2, 7, 15)})
 		if r1.Outputs != 0 || r2.Outputs != 1 {
@@ -112,8 +116,8 @@ func TestNoDuplicateAcrossRounds(t *testing.T) {
 }
 
 func TestExpiredTuplesDoNotJoin(t *testing.T) {
-	for _, mode := range []Mode{ModeIndexed, ModeScan} {
-		m := New(testCfg(mode))
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		m := MustNew(testCfg(mode))
 		m.Process(0, 100, []tuple.Tuple{tup(tuple.S1, 7, 100)})
 		// An intermediate (empty) round expires the S1 tuple: window is
 		// 10s and ts=100 < 15000−10000. Rounds run every epoch in the real
@@ -133,8 +137,8 @@ func TestExpiringTuplesStillJoinThisRound(t *testing.T) {
 	// A tuple leaving the window this round must still join the round's
 	// fresh tuples that arrived while it was live (completeness rule:
 	// probing precedes expiration).
-	for _, mode := range []Mode{ModeIndexed, ModeScan} {
-		m := New(testCfg(mode))
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		m := MustNew(testCfg(mode))
 		m.Process(0, 100, []tuple.Tuple{tup(tuple.S1, 7, 100)})
 		// now=10_200 expires ts<200, but the probe happens first.
 		res := m.Process(0, 10_200, []tuple.Tuple{tup(tuple.S2, 7, 5_000)})
@@ -148,7 +152,7 @@ func TestExpiringTuplesStillJoinThisRound(t *testing.T) {
 }
 
 func TestMatchesCarryProbeTimestamps(t *testing.T) {
-	m := New(testCfg(ModeIndexed))
+	m := MustNew(testCfg(ModeIndexed))
 	m.Process(0, 10, []tuple.Tuple{tup(tuple.S1, 7, 1), tup(tuple.S1, 7, 2)})
 	res := m.Process(0, 20, []tuple.Tuple{tup(tuple.S2, 7, 15)})
 	want := []Match{{TS: 15, N: 2}}
@@ -159,8 +163,8 @@ func TestMatchesCarryProbeTimestamps(t *testing.T) {
 
 func TestModesProduceIdenticalResults(t *testing.T) {
 	rounds := randRounds(42, 30, 120, 50)
-	mi := New(testCfg(ModeIndexed))
-	ms := New(testCfg(ModeScan))
+	mi := MustNew(testCfg(ModeIndexed))
+	ms := MustNew(testCfg(ModeScan))
 	now := int32(0)
 	for i, batch := range rounds {
 		now += 500
@@ -184,7 +188,7 @@ func TestModesProduceIdenticalResults(t *testing.T) {
 func TestMatchesAgainstBruteForceReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rounds := randRounds(seed, 20, 80, 30)
-		m := New(testCfg(ModeIndexed))
+		m := MustNew(testCfg(ModeIndexed))
 		ref := &refJoin{W: 10_000}
 		now := int32(0)
 		for i, batch := range rounds {
@@ -206,7 +210,7 @@ func TestMatchesAgainstBruteForceReference(t *testing.T) {
 func TestScanModeAgainstReferenceWithoutFineTuning(t *testing.T) {
 	cfg := testCfg(ModeScan)
 	cfg.FineTune = false
-	m := New(cfg)
+	m := MustNew(cfg)
 	ref := &refJoin{W: 10_000}
 	now := int32(0)
 	for _, batch := range randRounds(7, 25, 60, 20) {
@@ -225,7 +229,7 @@ func TestScanModeAgainstReferenceWithoutFineTuning(t *testing.T) {
 
 func TestFineTuningBoundsBucketSizes(t *testing.T) {
 	cfg := testCfg(ModeIndexed)
-	m := New(cfg)
+	m := MustNew(cfg)
 	// Pour in enough distinct keys to force splits.
 	var batch []tuple.Tuple
 	for i := int32(0); i < 2000; i++ {
@@ -252,7 +256,7 @@ func TestFineTuningBoundsBucketSizes(t *testing.T) {
 
 func TestFineTuningMergesAfterExpiry(t *testing.T) {
 	cfg := testCfg(ModeIndexed)
-	m := New(cfg)
+	m := MustNew(cfg)
 	var batch []tuple.Tuple
 	for i := int32(0); i < 2000; i++ {
 		batch = append(batch, tup(tuple.StreamID(i%2), i, 100))
@@ -274,7 +278,7 @@ func TestFineTuningMergesAfterExpiry(t *testing.T) {
 }
 
 func TestWindowBytesTracksLiveTuples(t *testing.T) {
-	m := New(testCfg(ModeIndexed))
+	m := MustNew(testCfg(ModeIndexed))
 	m.Process(0, 100, []tuple.Tuple{tup(tuple.S1, 1, 50), tup(tuple.S2, 2, 60)})
 	if m.WindowBytes() != 2*tuple.LogicalSize {
 		t.Fatalf("window bytes = %d", m.WindowBytes())
@@ -293,7 +297,7 @@ func TestScannedGrowsWithoutFineTuning(t *testing.T) {
 	run := func(fineTune bool) int64 {
 		cfg := testCfg(ModeIndexed)
 		cfg.FineTune = fineTune
-		m := New(cfg)
+		m := MustNew(cfg)
 		now := int32(0)
 		var scanned int64
 		for _, b := range mkRounds() {
@@ -312,8 +316,8 @@ func TestScannedGrowsWithoutFineTuning(t *testing.T) {
 }
 
 func TestStateExtractInstallRoundtrip(t *testing.T) {
-	for _, mode := range []Mode{ModeIndexed, ModeScan} {
-		src := New(testCfg(mode))
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		src := MustNew(testCfg(mode))
 		rounds := randRounds(11, 10, 150, 40)
 		now := int32(0)
 		for _, b := range rounds {
@@ -333,18 +337,18 @@ func TestStateExtractInstallRoundtrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		st2 := StateFromWire(decoded.(*wire.StateTransfer))
-		dst := New(testCfg(mode))
+		dst := MustNew(testCfg(mode))
 		if err := dst.Install(st2); err != nil {
 			t.Fatal(err)
 		}
 		// Replay identical further rounds on a control copy and the moved
 		// module: outputs must match exactly.
-		control := New(testCfg(mode))
+		control := MustNew(testCfg(mode))
 		for _, b := range rounds {
 			// Rebuild control to the same point.
 			_ = b
 		}
-		control2 := New(testCfg(mode))
+		control2 := MustNew(testCfg(mode))
 		now2 := int32(0)
 		for _, b := range rounds {
 			now2 += 500
@@ -371,22 +375,25 @@ func TestStateExtractInstallRoundtrip(t *testing.T) {
 			if !reflect.DeepEqual(ra.Matches, rb.Matches) {
 				t.Fatalf("mode %d round %d after move: matches differ", mode, i)
 			}
+			if !reflect.DeepEqual(ra.Pairs, rb.Pairs) {
+				t.Fatalf("mode %d round %d after move: pairs differ", mode, i)
+			}
 		}
 		_ = control
 	}
 }
 
 func TestInstallRejectsDuplicateGroup(t *testing.T) {
-	m := New(testCfg(ModeIndexed))
+	m := MustNew(testCfg(ModeIndexed))
 	m.Ensure(3)
-	g := New(testCfg(ModeIndexed)).Ensure(3)
+	g := MustNew(testCfg(ModeIndexed)).Ensure(3)
 	if err := m.Install(g.Extract()); err == nil {
 		t.Fatal("duplicate install should fail")
 	}
 }
 
 func TestInstallRejectsCorruptShape(t *testing.T) {
-	m := New(testCfg(ModeIndexed))
+	m := MustNew(testCfg(ModeIndexed))
 	st := State{ID: 1, GlobalDepth: 2} // no buckets cover the slots
 	if err := m.Install(st); err == nil {
 		t.Fatal("corrupt shape should fail")
@@ -394,7 +401,7 @@ func TestInstallRejectsCorruptShape(t *testing.T) {
 }
 
 func TestModuleGroupManagement(t *testing.T) {
-	m := New(testCfg(ModeIndexed))
+	m := MustNew(testCfg(ModeIndexed))
 	m.Ensure(5)
 	m.Ensure(1)
 	m.Ensure(3)
@@ -420,7 +427,7 @@ func TestModuleGroupManagement(t *testing.T) {
 
 func TestDeterministicProcessing(t *testing.T) {
 	run := func() []Match {
-		m := New(testCfg(ModeIndexed))
+		m := MustNew(testCfg(ModeIndexed))
 		var all []Match
 		now := int32(0)
 		for _, b := range randRounds(77, 15, 200, 25) {
@@ -436,13 +443,16 @@ func TestDeterministicProcessing(t *testing.T) {
 }
 
 func TestBlockExpiryConservativeOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style: the 10-key domain defeats splitting and grows the directory to max depth")
+	}
 	// Block-granularity expiry keeps tuples slightly longer, so it can only
 	// produce more outputs than exact expiry, never fewer.
 	cfgExact := testCfg(ModeScan)
 	cfgExact.Expiry = ExpiryExact
 	cfgBlock := testCfg(ModeScan)
 	cfgBlock.Expiry = ExpiryBlocks
-	me, mb := New(cfgExact), New(cfgBlock)
+	me, mb := MustNew(cfgExact), MustNew(cfgBlock)
 	now := int32(0)
 	var oe, ob int64
 	for _, b := range randRounds(3, 40, 60, 10) {
@@ -459,14 +469,21 @@ func TestConfigValidation(t *testing.T) {
 	for _, bad := range []Config{
 		{WindowMs: 0, Theta: 1, FineTune: false},
 		{WindowMs: 100, Theta: 0, FineTune: true},
+		{WindowMs: 100, Theta: 1, Mode: ModeHash + 1},
 	} {
+		if m, err := New(bad); err == nil {
+			t.Fatalf("config %+v: New accepted it (%v)", bad, m)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Fatalf("config %+v should panic", bad)
+					t.Fatalf("config %+v: MustNew should panic", bad)
 				}
 			}()
-			New(bad)
+			MustNew(bad)
 		}()
+	}
+	if _, err := New(testCfg(ModeHash)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
 	}
 }

@@ -56,11 +56,7 @@ func (m *Module) Install(st State) error {
 	g := &Group{cfg: &m.cfg, id: st.ID, dir: dir}
 	for s := 0; s < 2; s++ {
 		for _, p := range st.Window[s] {
-			b := g.bucketFor(p.Key)
-			b.w[s].Append(p)
-			if m.cfg.Mode == ModeIndexed {
-				b.counts[s][p.Key]++
-			}
+			g.bucketFor(p.Key).ingestPacked(m.cfg.Mode, s, p)
 		}
 	}
 	m.groups[st.ID] = g

@@ -26,7 +26,11 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		_, _ = Unmarshal(buf)
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+	max := 2000 // soak-style; keep a sanity pass in -short runs
+	if testing.Short() {
+		max = 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,10 +43,14 @@ func TestMutatedFramesNeverPanic(t *testing.T) {
 		&StateTransfer{MoveID: 4, Buckets: []BucketSpec{{LocalDepth: 2, Bits: 1}}},
 		&ResultBatch{Slave: 1, Outputs: 10},
 	}
+	trials := 500 // soak-style; keep a sanity pass in -short runs
+	if testing.Short() {
+		trials = 50
+	}
 	r := rand.New(rand.NewSource(7))
 	for _, m := range msgs {
 		base := Marshal(m)
-		for trial := 0; trial < 500; trial++ {
+		for trial := 0; trial < trials; trial++ {
 			buf := append([]byte(nil), base...)
 			for k := 0; k < 1+r.Intn(4); k++ {
 				buf[r.Intn(len(buf))] ^= byte(1 << r.Intn(8))

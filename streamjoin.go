@@ -32,6 +32,15 @@ package streamjoin
 import (
 	"streamjoin/internal/core"
 	"streamjoin/internal/experiment"
+	"streamjoin/internal/join"
+)
+
+// Live prober modes for Config.LiveProber: the hash-index prober emits
+// matching pairs in O(matches) per probe and is the default; the scan prober
+// is the paper's block-nested-loop algorithm, kept as the ablation baseline.
+const (
+	ProberHash = join.ModeHash
+	ProberScan = join.ModeScan
 )
 
 // Config holds every knob of the system; see DefaultConfig for the paper's
