@@ -38,6 +38,8 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		seed     = fs.Uint64("seed", def.Seed, "workload/controller seed")
 		duration = fs.Duration("duration", time.Duration(def.DurationMs)*time.Millisecond, "run length")
 		warmup   = fs.Duration("warmup", time.Duration(def.WarmupMs)*time.Millisecond, "warm-up discarded from metrics")
+		wbatch   = fs.Int("wire-batch", def.WireBatchBytes, "batched wire framing threshold in bytes (0 = one frame per message)")
+		wflush   = fs.Duration("wire-flush", time.Duration(def.WireFlushMs)*time.Millisecond, "max time a buffered result frame may wait before flushing")
 	)
 	prober := def.LiveProber
 	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
@@ -76,6 +78,8 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.DurationMs = int32(*duration / time.Millisecond)
 		cfg.WarmupMs = int32(*warmup / time.Millisecond)
 		cfg.LiveProber = prober
+		cfg.WireBatchBytes = *wbatch
+		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
 		return cfg
 	}
 }

@@ -19,7 +19,8 @@ func TestDefaultsMatchDefaultConfig(t *testing.T) {
 	if got.Slaves != want.Slaves || got.Rate != want.Rate ||
 		got.WindowMs != want.WindowMs || got.Theta != want.Theta ||
 		got.DistEpochMs != want.DistEpochMs || got.ReorgEpochMs != want.ReorgEpochMs ||
-		got.ThSup != want.ThSup || got.Partitions != want.Partitions {
+		got.ThSup != want.ThSup || got.Partitions != want.Partitions ||
+		got.WireBatchBytes != want.WireBatchBytes || got.WireFlushMs != want.WireFlushMs {
 		t.Fatalf("flag defaults drifted:\ngot  %+v\nwant %+v", got, want)
 	}
 	if err := got.Validate(); err != nil {
@@ -34,6 +35,7 @@ func TestFlagOverrides(t *testing.T) {
 		"-slaves", "5", "-rate", "4200", "-window", "90s", "-td", "750ms",
 		"-tr", "7500ms", "-finetune=false", "-adaptive", "-theta", "65536",
 		"-skew", "0.9", "-seed", "77", "-subgroups", "2",
+		"-wire-batch", "8192", "-wire-flush", "250ms",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
@@ -42,7 +44,8 @@ func TestFlagOverrides(t *testing.T) {
 	if cfg.Slaves != 5 || cfg.Rate != 4200 || cfg.WindowMs != 90_000 ||
 		cfg.DistEpochMs != 750 || cfg.ReorgEpochMs != 7500 || cfg.FineTune ||
 		!cfg.Adaptive || cfg.Theta != 65536 || cfg.Skew != 0.9 ||
-		cfg.Seed != 77 || cfg.SubGroups != 2 {
+		cfg.Seed != 77 || cfg.SubGroups != 2 ||
+		cfg.WireBatchBytes != 8192 || cfg.WireFlushMs != 250 {
 		t.Fatalf("overrides not applied: %+v", cfg)
 	}
 	if err := cfg.Validate(); err != nil {

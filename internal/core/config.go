@@ -19,6 +19,7 @@ import (
 	"streamjoin/internal/join"
 	"streamjoin/internal/simnet"
 	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
 )
 
 // Config holds every knob of the system. DefaultConfig returns the paper's
@@ -133,6 +134,19 @@ type Config struct {
 	// O(matches) probes) or join.ModeScan (the paper's block-nested-loop
 	// scan, kept as the ablation baseline). The simulation ignores it.
 	LiveProber join.Mode
+
+	// WireBatchBytes enables batched wire framing on the TCP deployment:
+	// deferrable messages (state transfers to the same peer, result
+	// batches to the collector) coalesce into one length-prefixed physical
+	// frame until this many encoded payload bytes are pending. 0 keeps the
+	// per-message framing (one frame per message). Only physical framing
+	// changes; WireSize accounting is untouched.
+	WireBatchBytes int
+	// WireFlushMs caps how long a buffered result batch may wait for the
+	// byte threshold before the frame is flushed anyway (0 = no time cap;
+	// reorganization boundaries and shutdown always flush). Ignored when
+	// WireBatchBytes is 0.
+	WireFlushMs int32
 }
 
 // DefaultConfig returns the paper's Table I defaults on the calibrated
@@ -166,6 +180,8 @@ func DefaultConfig() Config {
 		Mode:               join.ModeIndexed,
 		Expiry:             join.ExpiryExact,
 		LiveProber:         join.ModeHash,
+		WireBatchBytes:     32 << 10,
+		WireFlushMs:        500,
 	}
 }
 
@@ -208,6 +224,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: ChunkTuples = %d", c.ChunkTuples)
 	case c.LiveProber != join.ModeHash && c.LiveProber != join.ModeScan:
 		return fmt.Errorf("core: LiveProber = %v, want hash or scan", c.LiveProber)
+	case c.WireBatchBytes < 0 || c.WireBatchBytes > wire.MaxFrameBytes:
+		return fmt.Errorf("core: WireBatchBytes = %d, want [0, %d]", c.WireBatchBytes, wire.MaxFrameBytes)
+	case c.WireFlushMs < 0:
+		return fmt.Errorf("core: WireFlushMs = %d", c.WireFlushMs)
 	case c.Beta <= 0 || c.Beta >= 1:
 		return fmt.Errorf("core: Beta = %v, want (0,1)", c.Beta)
 	case len(c.BackgroundLoad) > c.Slaves:

@@ -66,7 +66,7 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ec := engine.WrapTCP(masterP, c)
+		ec := engine.WrapTCPBatched(masterP, c, cfg.WireBatchBytes)
 		hello, ok := ec.Recv().(*wire.Hello)
 		if !ok || hello.Slave < 0 || int(hello.Slave) >= cfg.Slaves || conns[hello.Slave] != nil {
 			c.Close()
@@ -93,6 +93,8 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 		go func(c net.Conn) {
 			defer c.Close()
 			defer func() { recover() }() // connection teardown at shutdown
+			// Reads are layout-agnostic: one Recv per message whether the
+			// slave packed several result batches into a frame or not.
 			rc := engine.WrapTCP(collP, c)
 			for {
 				async.SendAsync(rc.Recv())
@@ -187,7 +189,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		return err
 	}
 	defer mc.Close()
-	master := engine.WrapTCP(proc, mc)
+	master := engine.WrapTCPBatched(proc, mc, cfg.WireBatchBytes)
 	master.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
 
 	// Mesh: listen for higher IDs, dial lower IDs.
@@ -206,7 +208,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 			return err
 		}
 		defer c.Close()
-		pc := engine.WrapTCP(proc, c)
+		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
 		pc.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
 		peers[j] = pc
 	}
@@ -216,7 +218,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 			return err
 		}
 		defer c.Close()
-		pc := engine.WrapTCP(proc, c)
+		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
 		hello, ok := pc.Recv().(*wire.Hello)
 		if !ok || int(hello.Slave) <= id || int(hello.Slave) >= cfg.Slaves {
 			return fmt.Errorf("core: bad mesh registration")
@@ -229,7 +231,11 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		return err
 	}
 	defer rc.Close()
-	coll := &tcpAsyncSender{conn: engine.WrapTCP(proc, rc)}
+	coll := &tcpAsyncSender{
+		conn:       engine.WrapTCPBatched(proc, rc, cfg.WireBatchBytes),
+		now:        proc.Now,
+		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
+	}
 
 	// Wait for the master's start batch; it defines epoch zero. Re-anchor
 	// the environment clock so slot arithmetic matches the master's.
@@ -254,6 +260,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		}
 	}
 	coll.conn = rebind(coll.conn)
+	coll.now = proc2.Now
 
 	s := newSlave(&cfg, int32(id), proc2, master, peers, coll)
 	defer func() {
@@ -266,13 +273,42 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 }
 
 // tcpAsyncSender adapts a framed TCP connection to the AsyncSender used for
-// the collector path (TCP buffering provides the asynchrony).
+// the collector path (TCP buffering provides the asynchrony). On a batched
+// transport, result batches coalesce into a shared frame until the conn's
+// byte threshold trips or the oldest buffered message has waited flushAfter;
+// the slave loop additionally flushes at reorganization boundaries and
+// shutdown, so nothing is ever stranded.
 type tcpAsyncSender struct {
-	conn engine.Conn
+	conn       engine.Conn
+	now        func() time.Duration
+	flushAfter time.Duration
+
+	pending      bool
+	pendingSince time.Duration
 }
 
 // SendAsync implements engine.AsyncSender.
-func (t *tcpAsyncSender) SendAsync(m wire.Message) { t.conn.Send(m) }
+func (t *tcpAsyncSender) SendAsync(m wire.Message) {
+	engine.SendBuffered(t.conn, m)
+	if t.flushAfter <= 0 {
+		// No time cap: the conn's byte threshold and the slave loop's
+		// boundary/shutdown flushes govern when the frame goes out.
+		return
+	}
+	now := t.now()
+	if !t.pending {
+		t.pending, t.pendingSince = true, now
+	}
+	if now-t.pendingSince >= t.flushAfter {
+		t.Flush()
+	}
+}
+
+// Flush implements engine.Flusher: it pushes any coalescing frame out.
+func (t *tcpAsyncSender) Flush() {
+	engine.Flush(t.conn)
+	t.pending = false
+}
 
 func dialRetry(addr string) (net.Conn, error) {
 	var lastErr error

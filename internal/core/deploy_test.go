@@ -30,48 +30,64 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock TCP test")
 	}
-	cfg := DefaultConfig()
-	cfg.Slaves = 2
-	cfg.Rate = 600
-	cfg.WindowMs = 3_000
-	cfg.DistEpochMs = 250
-	cfg.ReorgEpochMs = 2_500
-	cfg.DurationMs = 5_000
-	cfg.WarmupMs = 1_000
-	cfg.Theta = 32 << 10
-	cfg.Domain = 20_000
+	// Both wire framings drive the same deployment end to end: batched
+	// (the default) and the per-message ablation.
+	for _, tc := range []struct {
+		name       string
+		batchBytes int
+	}{
+		{"batched", 32 << 10},
+		{"per-message", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Slaves = 2
+			cfg.Rate = 600
+			cfg.WindowMs = 3_000
+			cfg.DistEpochMs = 250
+			cfg.ReorgEpochMs = 2_500
+			cfg.DurationMs = 5_000
+			cfg.WarmupMs = 1_000
+			cfg.Theta = 32 << 10
+			cfg.Domain = 20_000
+			cfg.WireBatchBytes = tc.batchBytes
+			cfg.WireFlushMs = 500
 
-	addrs := freePorts(t, 4)
-	ctl, res := addrs[0], addrs[1]
-	mesh := addrs[2:4]
+			addrs := freePorts(t, 4)
+			ctl, res := addrs[0], addrs[1]
+			mesh := addrs[2:4]
 
-	var wg sync.WaitGroup
-	slaveErr := make(chan error, cfg.Slaves)
-	for i := 0; i < cfg.Slaves; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			if err := ServeSlaveTCP(cfg, id, ctl, res, mesh); err != nil {
-				slaveErr <- fmt.Errorf("slave %d: %w", id, err)
+			var wg sync.WaitGroup
+			slaveErr := make(chan error, cfg.Slaves)
+			for i := 0; i < cfg.Slaves; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					if err := ServeSlaveTCP(cfg, id, ctl, res, mesh); err != nil {
+						slaveErr <- fmt.Errorf("slave %d: %w", id, err)
+					}
+				}(i)
 			}
-		}(i)
-	}
 
-	result, err := ServeMasterTCP(cfg, ctl, res)
-	if err != nil {
-		t.Fatal(err)
+			result, err := ServeMasterTCP(cfg, ctl, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			close(slaveErr)
+			for err := range slaveErr {
+				t.Error(err)
+			}
+			if result.Outputs == 0 {
+				t.Fatal("TCP cluster produced no outputs")
+			}
+			if result.EpochsServed < 10 {
+				t.Fatalf("epochs = %d", result.EpochsServed)
+			}
+			t.Logf("tcp cluster: outputs=%d delay=%v epochs=%d frames=%d/%d msgs",
+				result.Outputs, result.MeanDelay(), result.EpochsServed,
+				result.Master.WireFramesSent+result.Master.WireFramesRecv,
+				result.Master.MsgsSent+result.Master.MsgsRecv)
+		})
 	}
-	wg.Wait()
-	close(slaveErr)
-	for err := range slaveErr {
-		t.Error(err)
-	}
-	if result.Outputs == 0 {
-		t.Fatal("TCP cluster produced no outputs")
-	}
-	if result.EpochsServed < 10 {
-		t.Fatalf("epochs = %d", result.EpochsServed)
-	}
-	t.Logf("tcp cluster: outputs=%d delay=%v epochs=%d",
-		result.Outputs, result.MeanDelay(), result.EpochsServed)
 }

@@ -74,9 +74,11 @@ func (s *slaveNode) run() {
 
 		// End-of-epoch occupancy sample (§IV-C): backlog bytes over the
 		// allotted buffer, averaged over the reorganization interval.
+		// Memory-limited nodes charge the prober's key index on top of the
+		// window blocks, so reorganization sees the true footprint.
 		occ := float64(s.backlog*tuple.LogicalSize) / float64(s.cfg.SlaveBufBytes)
 		if bound := s.cfg.memBound(s.id); bound > 0 {
-			if memOcc := float64(s.mod.WindowBytes()) / float64(bound); memOcc > occ {
+			if memOcc := float64(s.mod.MemoryBytes()) / float64(bound); memOcc > occ {
 				occ = memOcc
 			}
 		}
@@ -104,8 +106,11 @@ func (s *slaveNode) run() {
 		})
 		s.acks = nil
 		if e%K == 0 {
-			// Reorganization boundary: restart the averaging window.
+			// Reorganization boundary: restart the averaging window and
+			// push out any result batches still coalescing in the batched
+			// transport, so collector staleness is bounded by t_r.
 			s.occSum, s.occN = 0, 0
+			engine.Flush(s.coll)
 		}
 
 		batch, ok := s.mst.Recv().(*wire.Batch)
@@ -126,6 +131,7 @@ func (s *slaveNode) run() {
 		}
 		if batch.Shutdown {
 			s.flushResults()
+			engine.Flush(s.coll)
 			return
 		}
 
@@ -142,23 +148,43 @@ func (s *slaveNode) run() {
 	}
 }
 
-// handleDirectives executes movement orders in MoveID order, acting as
-// supplier (extract and send state) or consumer (receive and install).
+// handleDirectives executes movement orders in MoveID order: supplies first
+// (extract and send state), then consumes (receive and install). Supplies
+// are buffered, so several groups yielded to the same consumer share one
+// physical frame on a batched transport; every touched peer connection is
+// flushed before the first blocking consume, which keeps the exchange
+// deadlock-free. Per-peer ordering is preserved because both the supplier
+// and the consumer walk their directives in MoveID order.
 func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
 	if len(dirs) == 0 {
 		return
 	}
 	sort.Slice(dirs, func(i, j int) bool { return dirs[i].MoveID < dirs[j].MoveID })
+	consumes := 0
 	for _, d := range dirs {
 		switch {
 		case d.From == s.id:
 			s.supplyGroup(d)
+			s.movesServed++
 		case d.To == s.id:
-			s.consumeGroup(d)
+			consumes++
 		default:
 			panic(fmt.Sprintf("core: slave %d got foreign directive %+v", s.id, d))
 		}
-		s.movesServed++
+	}
+	for _, p := range s.peer {
+		if p != nil {
+			engine.Flush(p)
+		}
+	}
+	if consumes == 0 {
+		return
+	}
+	for _, d := range dirs {
+		if d.To == s.id {
+			s.consumeGroup(d)
+			s.movesServed++
+		}
 	}
 }
 
@@ -170,7 +196,7 @@ func (s *slaveNode) supplyGroup(d wire.Directive) {
 	delete(s.input, d.Group)
 	s.backlog -= int64(len(pending))
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(pending)))
-	s.peer[d.To].Send(st.ToWire(d.MoveID, pending))
+	engine.SendBuffered(s.peer[d.To], st.ToWire(d.MoveID, pending))
 }
 
 func (s *slaveNode) consumeGroup(d wire.Directive) {

@@ -19,7 +19,12 @@ import (
 	"streamjoin/internal/wire"
 )
 
-// Stats aggregates a process's resource usage.
+// Stats aggregates a process's resource usage. BytesSent/BytesRecv are the
+// paper-logical message sizes (wire.Message.WireSize), which all
+// communication-overhead metrics use; WireBytesSent/WireBytesRecv are the
+// physical bytes a live TCP transport put on the wire (frame headers
+// included, zero on the simulated engine and in-process pipes). Batched
+// framing shrinks the physical side while leaving the logical side intact.
 type Stats struct {
 	Comm      time.Duration
 	Idle      time.Duration
@@ -28,6 +33,11 @@ type Stats struct {
 	BytesRecv int64
 	MsgsSent  int64
 	MsgsRecv  int64
+
+	WireFramesSent int64
+	WireBytesSent  int64
+	WireFramesRecv int64
+	WireBytesRecv  int64
 }
 
 // Sub returns s minus t field-by-field (measurement-interval isolation).
@@ -40,6 +50,11 @@ func (s Stats) Sub(t Stats) Stats {
 		BytesRecv: s.BytesRecv - t.BytesRecv,
 		MsgsSent:  s.MsgsSent - t.MsgsSent,
 		MsgsRecv:  s.MsgsRecv - t.MsgsRecv,
+
+		WireFramesSent: s.WireFramesSent - t.WireFramesSent,
+		WireBytesSent:  s.WireBytesSent - t.WireBytesSent,
+		WireFramesRecv: s.WireFramesRecv - t.WireFramesRecv,
+		WireBytesRecv:  s.WireBytesRecv - t.WireBytesRecv,
 	}
 }
 
@@ -81,4 +96,35 @@ type Inbox interface {
 // AsyncSender posts messages to an Inbox without waiting for the receiver.
 type AsyncSender interface {
 	SendAsync(m wire.Message)
+}
+
+// BufferedSender is implemented by Conns that can defer a send into a shared
+// physical frame (batched live TCP). A buffered message is guaranteed to
+// reach the peer only after Flush — callers must flush every conn they
+// buffered on before blocking on any Recv, or the protocol can deadlock.
+type BufferedSender interface {
+	SendBuffered(m wire.Message)
+}
+
+// Flusher is implemented by transports that coalesce writes.
+type Flusher interface {
+	Flush()
+}
+
+// SendBuffered defers m on c when the transport supports it and sends
+// immediately otherwise, so protocol code stays engine-agnostic.
+func SendBuffered(c Conn, m wire.Message) {
+	if b, ok := c.(BufferedSender); ok {
+		b.SendBuffered(m)
+		return
+	}
+	c.Send(m)
+}
+
+// Flush pushes any buffered messages of v (a Conn or AsyncSender) to the
+// peer; transports without write buffering ignore it.
+func Flush(v any) {
+	if f, ok := v.(Flusher); ok {
+		f.Flush()
+	}
 }

@@ -85,6 +85,18 @@ func (p *LiveProc) addComm(d time.Duration, sentB, recvB int64, sent, recv int64
 	p.mu.Unlock()
 }
 
+func (p *LiveProc) addWire(sentF, sentB, recvF, recvB int64) {
+	if sentF == 0 && sentB == 0 && recvF == 0 && recvB == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.stats.WireFramesSent += sentF
+	p.stats.WireBytesSent += sentB
+	p.stats.WireFramesRecv += recvF
+	p.stats.WireBytesRecv += recvB
+	p.mu.Unlock()
+}
+
 // pipeConn is one end of an in-process rendezvous connection: unbuffered
 // channels give MPI-like blocking semantics.
 type pipeConn struct {
@@ -130,44 +142,131 @@ func (e *TCPError) Error() string { return fmt.Sprintf("tcp %s: %v", e.Op, e.Err
 
 func (e *TCPError) Unwrap() error { return e.Err }
 
-// tcpConn frames wire messages over a net.Conn.
+// tcpConn frames wire messages over a net.Conn through a reused-buffer
+// FrameWriter/FrameReader pair. Send always flushes (the protocol's MPI-like
+// turnarounds depend on it); SendBuffered defers the message into a shared
+// frame until the auto-flush byte threshold trips, Flush is called, or the
+// next Recv on this conn forces the pending frame out. The reader decodes
+// both single-message and batched frames, so a batching peer and a
+// per-message peer interoperate on the same connection.
 type tcpConn struct {
-	p *LiveProc
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
+	p  *LiveProc
+	c  net.Conn
+	fr *wire.FrameReader
+	fw *wire.FrameWriter
+	w  *bufio.Writer
+
+	batched bool
+
+	// Last-sampled framing stats, for delta accounting into LiveProc.
+	sentFrames, sentBytes int64
+	recvFrames, recvBytes int64
 }
 
-// WrapTCP adapts a net.Conn for live cluster deployment.
+// WrapTCP adapts a net.Conn for live cluster deployment with one physical
+// frame per message (the unbatched transport).
 func WrapTCP(p *LiveProc, c net.Conn) Conn {
-	return &tcpConn{p: p, c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+	return wrapTCP(p, c, 0, false)
+}
+
+// WrapTCPBatched adapts a net.Conn with batched framing: messages passed to
+// SendBuffered coalesce into one frame until flushBytes of encoded payload
+// are pending. flushBytes <= 0 degenerates to the unbatched transport.
+func WrapTCPBatched(p *LiveProc, c net.Conn, flushBytes int) Conn {
+	if flushBytes <= 0 {
+		return WrapTCP(p, c)
+	}
+	return wrapTCP(p, c, flushBytes, true)
+}
+
+func wrapTCP(p *LiveProc, c net.Conn, flushBytes int, batched bool) *tcpConn {
+	w := bufio.NewWriterSize(c, 1<<16)
+	return &tcpConn{
+		p:       p,
+		c:       c,
+		fr:      wire.NewFrameReader(bufio.NewReaderSize(c, 1<<16)),
+		fw:      wire.NewFrameWriter(w, flushBytes),
+		w:       w,
+		batched: batched,
+	}
 }
 
 // Rebind returns the same TCP connection accounting to a different process
 // (used when a deployment re-anchors its clock after setup).
 func (c *tcpConn) Rebind(p *LiveProc) Conn {
-	return &tcpConn{p: p, c: c.c, r: c.r, w: c.w}
+	out := *c
+	out.p = p
+	return &out
 }
 
-// Send implements Conn.
-func (c *tcpConn) Send(m wire.Message) {
-	t0 := c.p.Now()
-	if err := wire.WriteFrame(c.w, m); err != nil {
+// accountWire folds the framing layer's physical counters into the process
+// stats as deltas since the previous sample.
+func (c *tcpConn) accountWire() {
+	sf, _, sb := c.fw.Stats()
+	rf, _, rb := c.fr.Stats()
+	c.p.addWire(sf-c.sentFrames, sb-c.sentBytes, rf-c.recvFrames, rb-c.recvBytes)
+	c.sentFrames, c.sentBytes = sf, sb
+	c.recvFrames, c.recvBytes = rf, rb
+}
+
+// flushPending pushes any pending frame and the bufio layer to the socket.
+func (c *tcpConn) flushPending() {
+	if err := c.fw.Flush(); err != nil {
 		panic(&TCPError{Op: "send", Err: err})
 	}
 	if err := c.w.Flush(); err != nil {
 		panic(&TCPError{Op: "flush", Err: err})
 	}
+	c.accountWire()
+}
+
+// Send implements Conn: the message and anything buffered before it go out
+// immediately.
+func (c *tcpConn) Send(m wire.Message) {
+	t0 := c.p.Now()
+	if err := c.fw.Append(m); err != nil {
+		panic(&TCPError{Op: "send", Err: err})
+	}
+	c.flushPending()
 	c.p.addComm(c.p.Now()-t0, m.WireSize(), 0, 1, 0)
 }
 
-// Recv implements Conn.
-func (c *tcpConn) Recv() wire.Message {
+// SendBuffered implements BufferedSender: on a batched conn the message
+// joins the pending frame (flushed by threshold, Flush, or the next Recv);
+// on an unbatched conn it behaves exactly like Send.
+func (c *tcpConn) SendBuffered(m wire.Message) {
+	if !c.batched {
+		c.Send(m)
+		return
+	}
 	t0 := c.p.Now()
-	m, err := wire.ReadFrame(c.r)
+	if err := c.fw.Append(m); err != nil {
+		panic(&TCPError{Op: "send", Err: err})
+	}
+	// Push any frame the byte threshold forced out past bufio; a no-op
+	// while the message is still pending in the FrameWriter.
+	if err := c.w.Flush(); err != nil {
+		panic(&TCPError{Op: "flush", Err: err})
+	}
+	c.accountWire()
+	c.p.addComm(c.p.Now()-t0, m.WireSize(), 0, 1, 0)
+}
+
+// Flush implements Flusher.
+func (c *tcpConn) Flush() { c.flushPending() }
+
+// Recv implements Conn. Any buffered outbound messages are flushed first so
+// a request buffered on this conn cannot deadlock against its own response.
+func (c *tcpConn) Recv() wire.Message {
+	if c.fw.PendingMessages() > 0 || c.w.Buffered() > 0 {
+		c.flushPending()
+	}
+	t0 := c.p.Now()
+	m, err := c.fr.Next()
 	if err != nil {
 		panic(&TCPError{Op: "recv", Err: err})
 	}
+	c.accountWire()
 	c.p.addComm(c.p.Now()-t0, 0, m.WireSize(), 0, 1)
 	return m
 }

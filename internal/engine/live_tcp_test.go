@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"streamjoin/internal/wire"
+)
+
+// tcpPair returns two wrapped ends of a loopback TCP connection.
+func tcpPair(t *testing.T, env *LiveEnv, batchBytes int) (Conn, Conn, *LiveProc, *LiveProc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	t.Cleanup(func() { cli.Close(); acc.c.Close() })
+	pa, pb := env.NewProc("a"), env.NewProc("b")
+	return WrapTCPBatched(pa, cli, batchBytes), WrapTCPBatched(pb, acc.c, batchBytes), pa, pb
+}
+
+// TestBatchedConnRecvFlushesPending guards the deadlock safety net: a
+// message buffered with SendBuffered must reach the peer once the sender
+// blocks in Recv on the same conn, even though no explicit Flush ran.
+func TestBatchedConnRecvFlushesPending(t *testing.T) {
+	env := NewLiveEnv()
+	a, b, pa, _ := tcpPair(t, env, 1<<20) // threshold far above the traffic
+	want := &wire.Hello{Slave: 3, Epoch: 9}
+	done := make(chan wire.Message, 1)
+	go func() {
+		// Peer answers only after seeing the request.
+		m := b.Recv()
+		b.Send(&wire.Batch{Epoch: 9})
+		done <- m
+	}()
+	SendBuffered(a, want)
+	if pa.Stats().WireFramesSent != 0 {
+		t.Fatal("buffered send hit the wire before any flush point")
+	}
+	if resp := a.Recv(); resp.(*wire.Batch).Epoch != 9 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if got := <-done; !reflect.DeepEqual(got, want) {
+		t.Fatalf("peer saw %+v, want %+v", got, want)
+	}
+}
+
+// TestBatchedConnCoalesces checks that buffered messages share one physical
+// frame and the logical accounting is framing-independent.
+func TestBatchedConnCoalesces(t *testing.T) {
+	env := NewLiveEnv()
+	a, b, pa, pb := tcpPair(t, env, 1<<20)
+	msgs := []wire.Message{
+		&wire.Hello{Slave: 1},
+		&wire.ResultBatch{Slave: 1, Outputs: 5},
+		&wire.Hello{Slave: 2},
+	}
+	for _, m := range msgs {
+		SendBuffered(a, m)
+	}
+	Flush(a)
+	for i, want := range msgs {
+		if got := b.Recv(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	as, bs := pa.Stats(), pb.Stats()
+	if as.WireFramesSent != 1 || as.MsgsSent != 3 {
+		t.Fatalf("sender: %d frames for %d messages, want 1 for 3", as.WireFramesSent, as.MsgsSent)
+	}
+	if bs.WireFramesRecv != 1 || bs.MsgsRecv != 3 {
+		t.Fatalf("receiver: %d frames for %d messages, want 1 for 3", bs.WireFramesRecv, bs.MsgsRecv)
+	}
+	var logical int64
+	for _, m := range msgs {
+		logical += m.WireSize()
+	}
+	if as.BytesSent != logical || bs.BytesRecv != logical {
+		t.Fatalf("logical bytes: sent %d recv %d, want %d", as.BytesSent, bs.BytesRecv, logical)
+	}
+	if as.WireBytesSent != bs.WireBytesRecv {
+		t.Fatalf("physical bytes disagree: %d vs %d", as.WireBytesSent, bs.WireBytesRecv)
+	}
+}
+
+// TestUnbatchedConnBuffersNothing checks the threshold-0 degeneration: every
+// SendBuffered is an immediate single-message frame, interoperable with a
+// batched peer.
+func TestUnbatchedConnBuffersNothing(t *testing.T) {
+	env := NewLiveEnv()
+	a, b, pa, _ := tcpPair(t, env, 0)
+	SendBuffered(a, &wire.Hello{Slave: 1})
+	SendBuffered(a, &wire.Hello{Slave: 2})
+	for want := int32(1); want <= 2; want++ {
+		if got := b.Recv().(*wire.Hello).Slave; got != want {
+			t.Fatalf("got slave %d, want %d", got, want)
+		}
+	}
+	if s := pa.Stats(); s.WireFramesSent != 2 || s.MsgsSent != 2 {
+		t.Fatalf("unbatched conn: %d frames for %d messages", s.WireFramesSent, s.MsgsSent)
+	}
+}

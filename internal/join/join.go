@@ -235,6 +235,23 @@ func (m *Module) WindowBytes() int64 {
 	return n
 }
 
+// IndexBytes estimates the in-memory footprint of the prober's auxiliary
+// structures across all groups: the key→tuple-slot indexes of ModeHash or
+// the key→count maps of ModeIndexed (zero for ModeScan, which keeps none).
+// Memory-limited reorganization charges this against SlaveMemBytes, so a
+// node's true footprint — window blocks plus index — drives load shedding.
+func (m *Module) IndexBytes() int64 {
+	var n int64
+	for _, g := range m.groups {
+		n += g.IndexBytes()
+	}
+	return n
+}
+
+// MemoryBytes is the module's total accounted footprint: window state plus
+// prober index.
+func (m *Module) MemoryBytes() int64 { return m.WindowBytes() + m.IndexBytes() }
+
 // Splits and Merges report cumulative fine-tuning activity.
 func (m *Module) Splits() int64 { return m.splits }
 
@@ -275,6 +292,36 @@ func newBucket(mode Mode) *bucket {
 }
 
 func (b *bucket) bytes() int64 { return b.w[0].Bytes() + b.w[1].Bytes() }
+
+// Estimated per-entry costs of the prober auxiliary structures, amortizing
+// Go map bucket overhead and load-factor slack: a hash-index map entry is an
+// int32 key plus a 24-byte slice header (~48 bytes with overhead) and each
+// live tuple occupies one int64 slot in a backing array; an indexed-mode
+// count entry is an int32 key plus int32 count (~16 bytes with overhead).
+const (
+	hashIndexKeyBytes  = 48
+	hashIndexSlotBytes = 8
+	countIndexKeyBytes = 16
+)
+
+// indexBytes estimates the footprint of the bucket's prober structures.
+// Every live tuple holds exactly one slot entry in ModeHash, so the slot
+// total is the stores' live length — no incremental bookkeeping needed.
+func (b *bucket) indexBytes(mode Mode) int64 {
+	var n int64
+	switch mode {
+	case ModeIndexed:
+		for s := 0; s < 2; s++ {
+			n += int64(len(b.counts[s])) * countIndexKeyBytes
+		}
+	case ModeHash:
+		for s := 0; s < 2; s++ {
+			n += int64(len(b.idx[s]))*hashIndexKeyBytes +
+				int64(b.w[s].Len())*hashIndexSlotBytes
+		}
+	}
+	return n
+}
 
 func (b *bucket) ingest(mode Mode, t tuple.Tuple) {
 	b.ingestPacked(mode, int(t.Stream), t.Packed())
@@ -360,6 +407,14 @@ func (g *Group) ID() int32 { return g.id }
 func (g *Group) WindowBytes() int64 {
 	var n int64
 	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { n += b.bytes() })
+	return n
+}
+
+// IndexBytes estimates the group's prober-index footprint (see
+// Module.IndexBytes).
+func (g *Group) IndexBytes() int64 {
+	var n int64
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { n += b.indexBytes(g.cfg.Mode) })
 	return n
 }
 

@@ -1,0 +1,121 @@
+package join
+
+import (
+	"testing"
+
+	"streamjoin/internal/tuple"
+)
+
+// distinctRound builds one round of n tuples with distinct keys per stream.
+func distinctRound(n int, ts int32) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, 2*n)
+	for k := 0; k < n; k++ {
+		out = append(out,
+			tup(tuple.S1, int32(k), ts),
+			tup(tuple.S2, int32(k), ts))
+	}
+	return out
+}
+
+// TestIndexBytesTracksHashIndex checks the accounting satellite: the hash
+// prober's key→slot index is charged, grows with distinct keys and live
+// tuples, and vanishes when the window drains.
+func TestIndexBytesTracksHashIndex(t *testing.T) {
+	m := MustNew(testCfg(ModeHash))
+	if m.IndexBytes() != 0 {
+		t.Fatalf("empty module charges %d index bytes", m.IndexBytes())
+	}
+
+	const keys = 500
+	m.Process(0, 100, distinctRound(keys, 100))
+	got := m.IndexBytes()
+	// 500 distinct keys and 500 live tuples per stream.
+	want := int64(2 * keys * (hashIndexKeyBytes + hashIndexSlotBytes))
+	if got != want {
+		t.Fatalf("index bytes = %d, want %d", got, want)
+	}
+	if m.MemoryBytes() != m.WindowBytes()+got {
+		t.Fatalf("MemoryBytes %d != WindowBytes %d + IndexBytes %d",
+			m.MemoryBytes(), m.WindowBytes(), got)
+	}
+
+	// Duplicate keys add slots but no new map entries.
+	m.Process(0, 200, distinctRound(keys, 200))
+	want += int64(2 * keys * hashIndexSlotBytes)
+	if got := m.IndexBytes(); got != want {
+		t.Fatalf("after duplicates: index bytes = %d, want %d", got, want)
+	}
+
+	// Exact expiry far past the window drains stores and index together.
+	m.Process(0, 1_000_000, nil)
+	if got := m.IndexBytes(); got != 0 {
+		t.Fatalf("drained module still charges %d index bytes", got)
+	}
+	if m.WindowBytes() != 0 {
+		t.Fatalf("drained module still holds %d window bytes", m.WindowBytes())
+	}
+}
+
+// TestIndexBytesByMode checks that every prober charges its own structures:
+// the scan prober keeps none, the simulation's count maps cost less than the
+// hash slot index.
+func TestIndexBytesByMode(t *testing.T) {
+	round := distinctRound(200, 50)
+	scan := MustNew(testCfg(ModeScan))
+	scan.Process(0, 50, round)
+	if scan.IndexBytes() != 0 {
+		t.Fatalf("scan prober charges %d index bytes", scan.IndexBytes())
+	}
+	if scan.MemoryBytes() != scan.WindowBytes() {
+		t.Fatal("scan prober memory should be window state only")
+	}
+
+	indexed := MustNew(testCfg(ModeIndexed))
+	indexed.Process(0, 50, round)
+	hash := MustNew(testCfg(ModeHash))
+	hash.Process(0, 50, round)
+	if indexed.IndexBytes() == 0 || hash.IndexBytes() == 0 {
+		t.Fatalf("index accounting missing: indexed=%d hash=%d",
+			indexed.IndexBytes(), hash.IndexBytes())
+	}
+	if indexed.IndexBytes() >= hash.IndexBytes() {
+		t.Fatalf("count maps (%d) should cost less than slot indexes (%d)",
+			indexed.IndexBytes(), hash.IndexBytes())
+	}
+}
+
+// TestIndexBytesSurvivesSplitsAndMerges checks coherence of the accounting
+// across fine-tuning relocation: after splits and merges the charged index
+// still matches a freshly computed one (live keys and tuples).
+func TestIndexBytesSurvivesSplitsAndMerges(t *testing.T) {
+	m := MustNew(testCfg(ModeHash))
+	ts := int32(0)
+	for _, round := range burstRounds(3, 40) {
+		ts += 500
+		m.Process(0, ts, round)
+	}
+	if m.Splits() == 0 || m.Merges() == 0 {
+		t.Skipf("workload did not exercise tuning: splits=%d merges=%d", m.Splits(), m.Merges())
+	}
+	g, ok := m.Get(0)
+	if !ok {
+		t.Fatal("group 0 missing")
+	}
+	var want int64
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
+		for s := 0; s < 2; s++ {
+			want += int64(len(b.idx[s]))*hashIndexKeyBytes + int64(b.w[s].Len())*hashIndexSlotBytes
+			// The index must cover exactly the live tuples.
+			n := 0
+			for _, slots := range b.idx[s] {
+				n += len(slots)
+			}
+			if n != b.w[s].Len() {
+				t.Fatalf("index covers %d slots for %d live tuples", n, b.w[s].Len())
+			}
+		}
+	})
+	if got := m.IndexBytes(); got != want {
+		t.Fatalf("index bytes = %d, want %d", got, want)
+	}
+}

@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
+	"io"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -32,6 +35,112 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// drainFrames pulls messages from a FrameReader until an error, reporting a
+// panic as a test failure. It is the hardened loop the live transports run.
+func drainFrames(t *testing.T, raw []byte) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Errorf("panic on %d-byte stream: %v", len(raw), rec)
+		}
+	}()
+	fr := NewFrameReader(bytes.NewReader(raw))
+	for {
+		if _, err := fr.Next(); err != nil {
+			return
+		}
+	}
+}
+
+// TestBatchDecoderNeverPanics feeds random batched-frame envelopes — random
+// counts over random bodies, biased toward valid kind bytes — to the
+// FrameReader. Malformed input must surface as an error, never a panic.
+func TestBatchDecoderNeverPanics(t *testing.T) {
+	f := func(seed int64, n uint16, count uint32, kind uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		body := make([]byte, int(n)%4096)
+		r.Read(body)
+		if len(body) > 0 {
+			body[0] = kind % 7 // bias toward valid kinds, including FrameBatch
+		}
+		frame := make([]byte, 0, 9+len(body))
+		frame = binary.BigEndian.AppendUint32(frame, uint32(5+len(body)))
+		frame = append(frame, byte(KindFrameBatch))
+		frame = binary.BigEndian.AppendUint32(frame, count%64)
+		frame = append(frame, body...)
+		drainFrames(t, frame)
+		return true
+	}
+	max := 2000 // soak-style; keep a sanity pass in -short runs
+	if testing.Short() {
+		max = 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutatedBatchFramesNeverPanic flips bytes of well-formed multi-message
+// frames: corrupted counts, lengths, kinds and bodies must all be rejected
+// without panicking, and whatever prefix decodes must still be messages.
+func TestMutatedBatchFramesNeverPanic(t *testing.T) {
+	var base bytes.Buffer
+	fw := NewFrameWriter(&base, 0)
+	for _, m := range sampleMessages() {
+		if err := fw.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trials := 500 // soak-style; keep a sanity pass in -short runs
+	if testing.Short() {
+		trials = 50
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		buf := append([]byte(nil), base.Bytes()...)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			buf[r.Intn(len(buf))] ^= byte(1 << r.Intn(8))
+		}
+		drainFrames(t, buf)
+	}
+}
+
+// TestTruncatedBatchFramesNeverPanic replays every prefix of a well-formed
+// multi-message stream; each must end in a clean error (usually EOF or
+// ErrUnexpectedEOF), never a panic or a fabricated message.
+func TestTruncatedBatchFramesNeverPanic(t *testing.T) {
+	var base bytes.Buffer
+	fw := NewFrameWriter(&base, 0)
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := fw.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := base.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]))
+		n := 0
+		for {
+			_, err := fr.Next()
+			if err == nil {
+				n++
+				continue
+			}
+			if err == io.EOF && n != 0 {
+				t.Fatalf("prefix %d: clean EOF after %d of %d messages", cut, n, len(msgs))
+			}
+			break
+		}
 	}
 }
 

@@ -38,6 +38,8 @@ func (k Kind) String() string {
 		return "StateTransfer"
 	case KindResultBatch:
 		return "ResultBatch"
+	case KindFrameBatch:
+		return "FrameBatch"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -63,18 +65,25 @@ var ErrUnknownKind = errors.New("wire: unknown message kind")
 
 // Marshal encodes m as kind byte + body in big-endian layout.
 func Marshal(m Message) []byte {
-	b := make([]byte, 0, 64)
+	return AppendMessage(make([]byte, 0, 64), m)
+}
+
+// AppendMessage appends m's encoding (kind byte + body) to b and returns the
+// extended slice. It allocates only when b lacks capacity, which is what the
+// framing layer's reused scratch buffers rely on.
+func AppendMessage(b []byte, m Message) []byte {
 	b = append(b, byte(m.Kind()))
 	return m.appendTo(b)
 }
 
-// Unmarshal decodes a message produced by Marshal.
-func Unmarshal(b []byte) (Message, error) {
-	if len(b) == 0 {
+// decodeMessage decodes one message (kind byte + body) from d, leaving any
+// following bytes in place for the caller.
+func decodeMessage(d *decoder) (Message, error) {
+	if len(d.buf) == 0 {
 		return nil, ErrTruncated
 	}
 	var m Message
-	switch Kind(b[0]) {
+	switch Kind(d.buf[0]) {
 	case KindHello:
 		m = &Hello{}
 	case KindBatch:
@@ -84,10 +93,20 @@ func Unmarshal(b []byte) (Message, error) {
 	case KindResultBatch:
 		m = &ResultBatch{}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, b[0])
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, d.buf[0])
 	}
-	d := &decoder{buf: b[1:]}
+	d.buf = d.buf[1:]
 	if err := m.decodeFrom(d); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	d := &decoder{buf: b}
+	m, err := decodeMessage(d)
+	if err != nil {
 		return nil, err
 	}
 	if len(d.buf) != 0 {
@@ -317,12 +336,22 @@ func (d *decoder) sliceLen() int {
 	return int(n)
 }
 
+// tupleEncSize is the encoded size of one tuple (stream u8 + key + ts).
+const tupleEncSize = 9
+
 func (d *decoder) tuples() []tuple.Tuple {
 	n := d.sliceLen()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	out := make([]tuple.Tuple, 0, n)
+	// Preallocate no more than the remaining bytes could possibly hold, so
+	// a corrupt length prefix cannot force a giant allocation before the
+	// truncation is detected.
+	c := n
+	if lim := len(d.buf)/tupleEncSize + 1; c > lim {
+		c = lim
+	}
+	out := make([]tuple.Tuple, 0, c)
 	for i := 0; i < n; i++ {
 		out = append(out, d.tuple())
 		if d.err != nil {
