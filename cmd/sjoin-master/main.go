@@ -1,6 +1,8 @@
 // Command sjoin-master hosts the master node, the collector and the
 // synthetic stream sources of a TCP cluster deployment. Start it first, then
-// one sjoin-slave per slave ID with identical system flags.
+// one sjoin-slave per slave ID with identical system flags (the shared flag
+// surface includes -workers, which only slave processes act on; see the
+// flag-reference table in README.md).
 //
 //	sjoin-master -ctl :7400 -results :7401 -slaves 2 \
 //	    -rate 800 -window 5s -td 250ms -tr 2500ms -duration 15s -warmup 5s

@@ -1,7 +1,9 @@
 // Command sjoin-slave hosts one slave node of a TCP cluster deployment. Run
 // one per slave ID with the same system flags as the master; -mesh lists
 // every slave's mesh address in ID order (used for direct partition-group
-// state movement).
+// state movement). Each slave process drives -workers join workers (one per
+// CPU core by default), each owning a disjoint subset of the slave's
+// partition-groups.
 //
 //	sjoin-slave -id 0 -ctl localhost:7400 -results localhost:7401 \
 //	    -mesh localhost:7410,localhost:7411 -slaves 2 -window 5s -td 250ms ...
@@ -31,7 +33,8 @@ func main() {
 	if *mesh != "" {
 		meshAddrs = strings.Split(*mesh, ",")
 	}
-	fmt.Printf("sjoin-slave %d: joining master at %s\n", *id, *ctl)
+	fmt.Printf("sjoin-slave %d: joining master at %s (%d join workers)\n",
+		*id, *ctl, cfg.LiveWorkers())
 	if err := core.ServeSlaveTCP(cfg, *id, *ctl, *res, meshAddrs); err != nil {
 		fmt.Fprintln(os.Stderr, "sjoin-slave:", err)
 		os.Exit(1)

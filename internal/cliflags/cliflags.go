@@ -40,6 +40,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		warmup   = fs.Duration("warmup", time.Duration(def.WarmupMs)*time.Millisecond, "warm-up discarded from metrics")
 		wbatch   = fs.Int("wire-batch", def.WireBatchBytes, "batched wire framing threshold in bytes (0 = one frame per message)")
 		wflush   = fs.Duration("wire-flush", time.Duration(def.WireFlushMs)*time.Millisecond, "max time a buffered result frame may wait before flushing")
+		workers  = fs.Int("workers", def.Workers, "join workers per live slave over disjoint partition-groups (0 = one per CPU core)")
 	)
 	prober := def.LiveProber
 	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
@@ -80,6 +81,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.LiveProber = prober
 		cfg.WireBatchBytes = *wbatch
 		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
+		cfg.Workers = *workers
 		return cfg
 	}
 }

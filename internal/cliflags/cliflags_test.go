@@ -35,7 +35,7 @@ func TestFlagOverrides(t *testing.T) {
 		"-slaves", "5", "-rate", "4200", "-window", "90s", "-td", "750ms",
 		"-tr", "7500ms", "-finetune=false", "-adaptive", "-theta", "65536",
 		"-skew", "0.9", "-seed", "77", "-subgroups", "2",
-		"-wire-batch", "8192", "-wire-flush", "250ms",
+		"-wire-batch", "8192", "-wire-flush", "250ms", "-workers", "3",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
@@ -45,7 +45,7 @@ func TestFlagOverrides(t *testing.T) {
 		cfg.DistEpochMs != 750 || cfg.ReorgEpochMs != 7500 || cfg.FineTune ||
 		!cfg.Adaptive || cfg.Theta != 65536 || cfg.Skew != 0.9 ||
 		cfg.Seed != 77 || cfg.SubGroups != 2 ||
-		cfg.WireBatchBytes != 8192 || cfg.WireFlushMs != 250 {
+		cfg.WireBatchBytes != 8192 || cfg.WireFlushMs != 250 || cfg.Workers != 3 {
 		t.Fatalf("overrides not applied: %+v", cfg)
 	}
 	if err := cfg.Validate(); err != nil {

@@ -10,10 +10,20 @@
 // deterministic simulated cluster (used by the experiment harness to
 // regenerate the paper's figures), and the live runner executes it on real
 // goroutines with in-process or TCP transports.
+//
+// Paper correspondence: the master runs Algorithm 1 and the distribution /
+// reorganization epochs of §IV-B; occupancy-driven supplier/consumer
+// pairing and state movement are §IV-C; the slave's join module is §IV-D;
+// degree-of-declustering adaptation is §V-A; sub-grouped distribution is
+// §V-B. Beyond the paper, live slaves are multi-prober (workerSet in
+// workers.go): one process drives W per-core join workers over disjoint
+// partition-group subsets, reporting aggregate occupancy so the master
+// still reorganizes whole slaves. See ARCHITECTURE.md for the layer map.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"streamjoin/internal/join"
@@ -135,6 +145,19 @@ type Config struct {
 	// scan, kept as the ablation baseline). The simulation ignores it.
 	LiveProber join.Mode
 
+	// Workers is the number of join workers a live slave process hosts:
+	// each worker owns the disjoint subset of the slave's partition-groups
+	// that hashes to it (group mod W), with its own windowed stores and
+	// prober index, and the processing phase of every distribution epoch
+	// fans out across all of them. 0 (the default) means one worker per CPU
+	// core for a slave that owns its process (the TCP deployment); RunLive,
+	// whose slaves share one process, divides the cores across them.
+	// Occupancy and memory reports aggregate across workers, so the
+	// master's reorganization still sees one slave. The simulation always
+	// runs one worker (its virtual clock is single-threaded); W=1 live
+	// slaves run the original inline loop.
+	Workers int
+
 	// WireBatchBytes enables batched wire framing on the TCP deployment:
 	// deferrable messages (state transfers to the same peer, result
 	// batches to the collector) coalesce into one length-prefixed physical
@@ -228,6 +251,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: WireBatchBytes = %d, want [0, %d]", c.WireBatchBytes, wire.MaxFrameBytes)
 	case c.WireFlushMs < 0:
 		return fmt.Errorf("core: WireFlushMs = %d", c.WireFlushMs)
+	case c.Workers < 0:
+		return fmt.Errorf("core: Workers = %d, want >= 0 (0 = one per core)", c.Workers)
 	case c.Beta <= 0 || c.Beta >= 1:
 		return fmt.Errorf("core: Beta = %v, want (0,1)", c.Beta)
 	case len(c.BackgroundLoad) > c.Slaves:
@@ -262,6 +287,30 @@ func (c *Config) Validate() error {
 type RateStep struct {
 	AtMs int32
 	Rate float64
+}
+
+// LiveWorkers resolves Workers for a slave that has a whole process (and
+// machine share) to itself, as in the TCP deployment: the configured count,
+// or one join worker per CPU core when unset.
+func (c *Config) LiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// inProcessWorkers resolves Workers for RunLive, where all cfg.Slaves
+// slaves share one process: an unset count divides the cores across the
+// slaves instead of oversubscribing the machine by a factor of Slaves.
+func (c *Config) inProcessWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	w := runtime.NumCPU() / c.Slaves
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // memBound returns slave i's window-memory bound (0 = unlimited).

@@ -262,7 +262,8 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 	coll.conn = rebind(coll.conn)
 	coll.now = proc2.Now
 
-	s := newSlave(&cfg, int32(id), proc2, master, peers, coll)
+	s := newSlave(&cfg, int32(id), proc2, master, peers, coll,
+		engine.NewLiveRunner(proc2, cfg.LiveWorkers()))
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: slave %d failed: %v", id, r)

@@ -31,16 +31,19 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		t.Skip("wall-clock TCP test")
 	}
 	// Both wire framings drive the same deployment end to end: batched
-	// (the default) and the per-message ablation.
+	// (the default) with 4 join workers per slave, and the per-message
+	// ablation with the single-worker inline loop.
 	for _, tc := range []struct {
 		name       string
 		batchBytes int
+		workers    int
 	}{
-		{"batched", 32 << 10},
-		{"per-message", 0},
+		{"batched", 32 << 10, 4},
+		{"per-message", 0, 1},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig()
+			cfg.Workers = tc.workers
 			cfg.Slaves = 2
 			cfg.Rate = 600
 			cfg.WindowMs = 3_000

@@ -110,7 +110,8 @@ func RunLive(cfg Config) (*Result, error) {
 	slaves := make([]*slaveNode, cfg.Slaves)
 	for i := range slaves {
 		slaves[i] = newSlave(&cfg, int32(i), slaveP[i], sConns[i], mesh[i],
-			engine.NewLiveAsyncSender(slaveP[i], inbox))
+			engine.NewLiveAsyncSender(slaveP[i], inbox),
+			engine.NewLiveRunner(slaveP[i], cfg.inProcessWorkers()))
 	}
 
 	errCh := make(chan error, cfg.Slaves+2)
@@ -184,13 +185,13 @@ func RunLive(cfg Config) (*Result, error) {
 	res.Outputs = res.Delay.Count
 	for i := range slaves {
 		res.Slaves[i] = slaveP[i].Stats().Sub(warmSlaves[i])
-		res.SlaveWindowBytes[i] = slaves[i].mod.WindowBytes()
+		res.SlaveWindowBytes[i] = slaves[i].ws.windowBytes()
 		res.SlaveActive[i] = master.active[i]
 		if master.active[i] {
 			res.ActiveEnd++
 		}
-		res.Splits += slaves[i].mod.Splits()
-		res.Merges += slaves[i].mod.Merges()
+		res.Splits += slaves[i].ws.splitsTotal()
+		res.Merges += slaves[i].ws.mergesTotal()
 	}
 	return res, nil
 }

@@ -226,8 +226,10 @@ func RunSim(cfg Config) (*Result, error) {
 	collector := newCollector(engine.WrapNode(collNd), inbox, neverStop)
 	slaves := make([]*slaveNode, cfg.Slaves)
 	for i := range slaves {
+		// The simulation's virtual clock is single-threaded, so slaves run
+		// one inline join worker regardless of cfg.Workers.
 		slaves[i] = newSlave(&cfg, int32(i), engine.WrapNode(slaveNds[i]), sConns[i],
-			mesh[i], engine.NewSimAsyncSender(slaveNds[i], inbox))
+			mesh[i], engine.NewSimAsyncSender(slaveNds[i], inbox), nil)
 	}
 
 	masterNd.Start(func(*simnet.Node) { master.run() })
@@ -287,13 +289,13 @@ func RunSim(cfg Config) (*Result, error) {
 	res.Outputs = res.Delay.Count
 	for i := range slaves {
 		res.Slaves[i] = engine.WrapNode(slaveNds[i]).Stats().Sub(warmSlaves[i])
-		res.SlaveWindowBytes[i] = slaves[i].mod.WindowBytes()
+		res.SlaveWindowBytes[i] = slaves[i].ws.windowBytes()
 		res.SlaveActive[i] = master.active[i]
 		if master.active[i] {
 			res.ActiveEnd++
 		}
-		res.Splits += slaves[i].mod.Splits()
-		res.Merges += slaves[i].mod.Merges()
+		res.Splits += slaves[i].ws.splitsTotal()
+		res.Merges += slaves[i].ws.mergesTotal()
 	}
 	return res, nil
 }

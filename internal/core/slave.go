@@ -7,15 +7,19 @@ import (
 
 	"streamjoin/internal/engine"
 	"streamjoin/internal/join"
-	"streamjoin/internal/metrics"
 	"streamjoin/internal/tuple"
 	"streamjoin/internal/wire"
 )
 
-// slaveNode runs the join module over the partition-groups assigned to it:
-// each distribution epoch it reports its load, receives a tuple batch,
-// executes any movement directives (as supplier or consumer), then processes
-// its backlog in chunked rounds until the next epoch boundary.
+// slaveNode runs the join over the partition-groups assigned to it: each
+// distribution epoch it reports its load, receives a tuple batch, executes
+// any movement directives (as supplier or consumer), then processes its
+// backlog in chunked rounds until the next epoch boundary. The join itself
+// runs on a workerSet — W per-core join workers over disjoint subsets of the
+// slave's partition-groups — while this event loop keeps the paper's
+// single-threaded protocol: between processing phases the workers are
+// parked, so occupancy sampling, state movement, and result flushing need no
+// locking.
 type slaveNode struct {
 	cfg  *Config
 	id   int32
@@ -24,45 +28,39 @@ type slaveNode struct {
 	peer []engine.Conn // by slave id; peer[id] == nil
 	coll engine.AsyncSender
 
-	mod      *join.Module
-	input    map[int32][]tuple.Tuple // backlog per group
-	backlog  int64                   // tuples
-	cursor   int                     // round-robin start for fairness
-	curChunk int                     // adaptive round size (tuples)
+	ws *workerSet
 
 	occSum float64
 	occN   int
 
-	rb   *wire.ResultBatch
 	acks []int64
 
 	active bool
 
 	// instrumentation
-	outputs     int64
-	roundsRun   int64
 	movesServed int64
 }
 
-func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []engine.Conn, coll engine.AsyncSender) *slaveNode {
+func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []engine.Conn, coll engine.AsyncSender, runner engine.Runner) *slaveNode {
 	active := int(id) < cfg.initialActive()
+	if runner == nil {
+		runner = engine.NewInlineRunner(proc)
+	}
 	return &slaveNode{
-		cfg:      cfg,
-		id:       id,
-		proc:     proc,
-		mst:      mst,
-		peer:     peers,
-		coll:     coll,
-		mod:      join.MustNew(cfg.joinConfig()),
-		input:    make(map[int32][]tuple.Tuple),
-		rb:       &wire.ResultBatch{Slave: id},
-		active:   active,
-		curChunk: cfg.ChunkTuples,
+		cfg:    cfg,
+		id:     id,
+		proc:   proc,
+		mst:    mst,
+		peer:   peers,
+		coll:   coll,
+		ws:     newWorkerSet(cfg, id, runner),
+		active: active,
 	}
 }
 
 // run is the slave process body.
 func (s *slaveNode) run() {
+	defer s.ws.close()
 	td := time.Duration(s.cfg.DistEpochMs) * time.Millisecond
 	slotOff := s.cfg.slotOffset(int(s.id))
 	K := s.cfg.epochsPerReorg()
@@ -75,10 +73,13 @@ func (s *slaveNode) run() {
 		// End-of-epoch occupancy sample (§IV-C): backlog bytes over the
 		// allotted buffer, averaged over the reorganization interval.
 		// Memory-limited nodes charge the prober's key index on top of the
-		// window blocks, so reorganization sees the true footprint.
-		occ := float64(s.backlog*tuple.LogicalSize) / float64(s.cfg.SlaveBufBytes)
+		// window blocks, so reorganization sees the true footprint. Both
+		// figures aggregate across the join workers, so the master keeps
+		// seeing one slave regardless of W.
+		backlogBytes := s.ws.backlogTuples() * tuple.LogicalSize
+		occ := float64(backlogBytes) / float64(s.cfg.SlaveBufBytes)
 		if bound := s.cfg.memBound(s.id); bound > 0 {
-			if memOcc := float64(s.mod.MemoryBytes()) / float64(bound); memOcc > occ {
+			if memOcc := float64(s.ws.memoryBytes()) / float64(bound); memOcc > occ {
 				occ = memOcc
 			}
 		}
@@ -89,7 +90,7 @@ func (s *slaveNode) run() {
 		s.occN++
 
 		// Flush the previous epoch's results to the collector.
-		s.flushResults()
+		s.ws.flushResults(s.coll)
 
 		avg := 0.0
 		if s.occN > 0 {
@@ -100,8 +101,8 @@ func (s *slaveNode) run() {
 			Epoch:        e,
 			Active:       s.active,
 			Occupancy:    avg,
-			WindowBytes:  s.mod.WindowBytes(),
-			BacklogBytes: s.backlog * tuple.LogicalSize,
+			WindowBytes:  s.ws.windowBytes(),
+			BacklogBytes: backlogBytes,
 			MoveACKs:     s.acks,
 		})
 		s.acks = nil
@@ -122,15 +123,13 @@ func (s *slaveNode) run() {
 		}
 		s.handleDirectives(batch.Directives)
 		for _, t := range batch.Tuples {
-			g := s.cfg.GroupOfKey(t.Key)
-			s.input[g] = append(s.input[g], t)
+			s.ws.enqueue(t)
 		}
-		s.backlog += int64(len(batch.Tuples))
 		if batch.Deactivate {
 			s.active = false
 		}
 		if batch.Shutdown {
-			s.flushResults()
+			s.ws.flushResults(s.coll)
 			engine.Flush(s.coll)
 			return
 		}
@@ -143,7 +142,7 @@ func (s *slaveNode) run() {
 			next = (e/K + 1) * K
 		}
 		deadline := time.Duration(next)*td + slotOff
-		s.processBacklog(deadline)
+		s.ws.processUntil(deadline)
 		e = next
 	}
 }
@@ -189,12 +188,7 @@ func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
 }
 
 func (s *slaveNode) supplyGroup(d wire.Directive) {
-	s.mod.Ensure(d.Group)
-	g, _ := s.mod.Remove(d.Group)
-	st := g.Extract()
-	pending := s.input[d.Group]
-	delete(s.input, d.Group)
-	s.backlog -= int64(len(pending))
+	st, pending := s.ws.extractGroup(d.Group)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(pending)))
 	engine.SendBuffered(s.peer[d.To], st.ToWire(d.MoveID, pending))
 }
@@ -210,143 +204,8 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 	}
 	st := join.StateFromWire(msg)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(msg.Pending)))
-	if err := s.mod.Install(st); err != nil {
+	if err := s.ws.installState(st, msg.Pending); err != nil {
 		panic(err)
 	}
-	if len(msg.Pending) > 0 {
-		s.input[d.Group] = append(s.input[d.Group], msg.Pending...)
-		s.backlog += int64(len(msg.Pending))
-	}
 	s.acks = append(s.acks, d.MoveID)
-}
-
-// processBacklog runs chunked join rounds until the backlog drains or the
-// deadline passes. The first sweep visits every owned group (so expiration
-// advances even without input); later sweeps only groups with pending input.
-// The sweep start rotates across calls so no group starves under overload.
-func (s *slaveNode) processBacklog(deadline time.Duration) {
-	first := true
-	for {
-		ids := s.groupList(first)
-		if len(ids) == 0 {
-			return
-		}
-		if s.cursor >= len(ids) {
-			s.cursor = 0
-		}
-		progressed := false
-		for k := 0; k < len(ids); k++ {
-			g := ids[(k+s.cursor)%len(ids)]
-			chunk := s.takeChunk(g)
-			if len(chunk) > 0 {
-				progressed = true
-			} else if !first {
-				continue
-			}
-			s.runRound(g, chunk)
-			if s.proc.Now() >= deadline {
-				s.cursor = (s.cursor + k + 1) % len(ids)
-				return
-			}
-		}
-		first = false
-		if !progressed && s.backlog == 0 {
-			return
-		}
-	}
-}
-
-// groupList returns the groups to visit this sweep in ascending order:
-// all owned groups plus groups with queued input (first sweep), or only
-// groups with queued input.
-func (s *slaveNode) groupList(all bool) []int32 {
-	seen := make(map[int32]bool)
-	var out []int32
-	if all {
-		for _, id := range s.mod.IDs() {
-			seen[id] = true
-			out = append(out, id)
-		}
-	}
-	for id, q := range s.input {
-		if len(q) > 0 && !seen[id] {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func (s *slaveNode) takeChunk(g int32) []tuple.Tuple {
-	q := s.input[g]
-	if len(q) == 0 {
-		return nil
-	}
-	n := s.curChunk
-	if n > len(q) {
-		n = len(q)
-	}
-	chunk := q[:n]
-	if n == len(q) {
-		delete(s.input, g)
-	} else {
-		s.input[g] = q[n:]
-	}
-	s.backlog -= int64(n)
-	return chunk
-}
-
-// runRound processes one chunk for one group, charges the modeled CPU cost
-// (dilated by the node's background load), and records the production delays
-// of the outputs.
-func (s *slaveNode) runRound(g int32, chunk []tuple.Tuple) {
-	res := s.mod.Process(g, msOf(s.proc.Now()), chunk)
-	cpu := time.Duration(float64(s.cfg.Cost.Round(res)) * s.cfg.slowdown(s.id))
-	s.proc.Compute(cpu)
-	s.roundsRun++
-	// Self-clocking round size: keep one round well under an epoch so the
-	// slave stays responsive to the fixed communication schedule even when
-	// per-probe scans are expensive (no fine tuning, saturated windows).
-	td := time.Duration(s.cfg.DistEpochMs) * time.Millisecond
-	if len(chunk) > 0 {
-		switch {
-		case cpu > td/2 && s.curChunk > 64:
-			s.curChunk /= 2
-		case cpu < td/16 && s.curChunk < s.cfg.ChunkTuples:
-			s.curChunk *= 2
-		}
-	}
-	if res.Outputs == 0 {
-		return
-	}
-	doneMs := msOf(s.proc.Now())
-	for _, match := range res.Matches {
-		delay := doneMs - match.TS
-		if delay < 0 {
-			delay = 0
-		}
-		s.addDelay(delay, match.N)
-	}
-	s.outputs += res.Outputs
-}
-
-func (s *slaveNode) addDelay(delayMs int32, n int64) {
-	rb := s.rb
-	if rb.Outputs == 0 || delayMs < rb.DelayMinMs {
-		rb.DelayMinMs = delayMs
-	}
-	if rb.Outputs == 0 || delayMs > rb.DelayMaxMs {
-		rb.DelayMaxMs = delayMs
-	}
-	rb.Outputs += n
-	rb.DelaySumMs += int64(delayMs) * n
-	rb.Hist[metrics.BucketFor(delayMs)] += n
-}
-
-func (s *slaveNode) flushResults() {
-	if s.rb.Outputs == 0 {
-		return
-	}
-	s.coll.SendAsync(s.rb)
-	s.rb = &wire.ResultBatch{Slave: s.id}
 }

@@ -11,6 +11,14 @@
 // Both engines account the same statistics: communication time (blocked in
 // Send/Recv), idle time (explicit epoch waits), CPU (modeled cost), and
 // byte/message counters.
+//
+// Paper correspondence: Proc and Conn realize the paper's execution model
+// (§III) — single-threaded nodes of a shared-nothing cluster exchanging
+// blocking MPI-style messages on persistent links — while the Runner /
+// WorkerPool layer adds the per-core join workers of a multi-prober slave
+// (the multicore follow-up direction, arXiv:1804.09324): W serial lanes
+// behind a fork/join barrier, with per-worker stats folding into the
+// slave's aggregate so the cluster-level accounting is unchanged.
 package engine
 
 import (

@@ -75,6 +75,14 @@ func (p *LiveProc) Stats() Stats {
 	return p.stats
 }
 
+// addIdle accounts already-elapsed idle time without sleeping (worker procs
+// fold their idle time into the parent this way).
+func (p *LiveProc) addIdle(d time.Duration) {
+	p.mu.Lock()
+	p.stats.Idle += d
+	p.mu.Unlock()
+}
+
 func (p *LiveProc) addComm(d time.Duration, sentB, recvB int64, sent, recv int64) {
 	p.mu.Lock()
 	p.stats.Comm += d

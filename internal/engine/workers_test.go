@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerPoolParallel proves the pool genuinely runs tasks concurrently:
+// every task blocks on a barrier only all workers together can release.
+func TestWorkerPoolParallel(t *testing.T) {
+	const n = 4
+	env := NewLiveEnv()
+	pool := NewWorkerPool(env.NewProc("slave0"), n)
+	defer pool.Close()
+
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	done := make(chan struct{})
+	go func() {
+		pool.Run(func(i int) {
+			barrier.Done()
+			barrier.Wait() // deadlocks unless all n tasks run concurrently
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not run tasks concurrently")
+	}
+}
+
+// TestWorkerPoolSerialPerLane: tasks dispatched to the same worker across
+// Run calls execute in order on one lane.
+func TestWorkerPoolSerialPerLane(t *testing.T) {
+	env := NewLiveEnv()
+	pool := NewWorkerPool(env.NewProc("slave0"), 2)
+	defer pool.Close()
+
+	perWorker := make([][]int, 2)
+	for round := 0; round < 8; round++ {
+		pool.Run(func(i int) {
+			perWorker[i] = append(perWorker[i], round) // barrier makes this safe
+		})
+	}
+	for i, got := range perWorker {
+		for round, v := range got {
+			if v != round {
+				t.Fatalf("worker %d saw rounds %v", i, got)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolStatsFold: modeled cost charged on a worker proc shows in
+// both the worker's own stats and the parent's aggregate.
+func TestWorkerPoolStatsFold(t *testing.T) {
+	env := NewLiveEnv()
+	parent := env.NewProc("slave0")
+	pool := NewWorkerPool(parent, 3)
+	defer pool.Close()
+
+	pool.Run(func(i int) {
+		pool.Proc(i).Compute(time.Duration(i+1) * time.Millisecond)
+	})
+	var workers time.Duration
+	for i := 0; i < pool.Size(); i++ {
+		s := pool.Proc(i).Stats()
+		if want := time.Duration(i+1) * time.Millisecond; s.CPU != want {
+			t.Fatalf("worker %d CPU = %v, want %v", i, s.CPU, want)
+		}
+		workers += s.CPU
+	}
+	if got := parent.Stats().CPU; got != workers {
+		t.Fatalf("parent CPU = %v, want fold of workers = %v", got, workers)
+	}
+	if name := pool.Proc(1).Name(); !strings.HasPrefix(name, "slave0/w") {
+		t.Fatalf("worker name = %q", name)
+	}
+}
+
+// TestWorkerPoolPanicPropagates: a panicking task surfaces on the Run
+// caller after the barrier, not on a bare pool goroutine.
+func TestWorkerPoolPanicPropagates(t *testing.T) {
+	env := NewLiveEnv()
+	pool := NewWorkerPool(env.NewProc("slave0"), 4)
+	defer pool.Close()
+
+	ran := make([]bool, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("propagated panic = %v", r)
+		}
+		for i, ok := range ran {
+			if !ok {
+				t.Fatalf("worker %d never ran; barrier broken by sibling panic", i)
+			}
+		}
+	}()
+	pool.Run(func(i int) {
+		ran[i] = true
+		if i == 2 {
+			panic("boom")
+		}
+	})
+}
+
+// TestInlineRunner: size one, runs on the caller's goroutine against the
+// caller's proc.
+func TestInlineRunner(t *testing.T) {
+	env := NewLiveEnv()
+	proc := env.NewProc("slave0")
+	r := NewInlineRunner(proc)
+	defer r.Close()
+	if r.Size() != 1 || r.Proc(0) != Proc(proc) {
+		t.Fatalf("inline runner shape: size=%d", r.Size())
+	}
+	ran := false
+	r.Run(func(i int) {
+		if i != 0 {
+			t.Fatalf("worker index %d", i)
+		}
+		ran = true
+		r.Proc(i).Compute(time.Millisecond)
+	})
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if proc.Stats().CPU != time.Millisecond {
+		t.Fatalf("CPU = %v", proc.Stats().CPU)
+	}
+	// NewLiveRunner picks inline for W<=1 and a pool for W>1.
+	if _, ok := NewLiveRunner(proc, 1).(inlineRunner); !ok {
+		t.Fatal("NewLiveRunner(1) is not inline")
+	}
+	lr := NewLiveRunner(proc, 2)
+	defer lr.Close()
+	if _, ok := lr.(*WorkerPool); !ok {
+		t.Fatal("NewLiveRunner(2) is not a pool")
+	}
+}

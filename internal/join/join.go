@@ -23,6 +23,15 @@
 //
 // ModeScan performs the honest block-nested-loop scan, tuple comparisons and
 // all — the paper's algorithm and the live engine's ablation baseline.
+//
+// # Concurrency
+//
+// A Module is deliberately lock-free single-goroutine state: the unit of
+// parallelism in this system is the partition-group, not the module. A
+// multi-prober slave gives each of its join workers a private Module over a
+// disjoint subset of the slave's partition-groups (internal/core's
+// workerSet), so modules never need internal synchronization and the
+// per-group join remains bit-identical to the single-worker design.
 // ModeIndexed maintains per-bucket key→count maps and produces identical
 // match counts in O(1) per probe while *reporting* the scan length the
 // nested loop would have performed; the simulation charges virtual CPU from
@@ -149,7 +158,10 @@ type RoundResult struct {
 	Merges     int
 }
 
-// Module is a slave's join state: every partition-group it currently owns.
+// Module is a join worker's state: every partition-group it currently owns.
+// A single-worker slave has one Module holding all its groups; a W-worker
+// slave has W Modules over disjoint group subsets (see the package comment
+// on concurrency). Methods must be called from one goroutine at a time.
 type Module struct {
 	cfg    Config
 	groups map[int32]*Group

@@ -7,6 +7,15 @@
 // WireSize reports the paper-accounting size — tuples count their 64-byte
 // logical size and result batches count the composite result tuples they
 // summarize — which is what all communication-overhead metrics use.
+//
+// Paper correspondence: the message set is exactly the paper's fixed
+// per-epoch communication pattern (§IV-B/§IV-C) — Hello is the slave's
+// load report opening each epoch exchange, Batch carries the master's
+// drained mini-buffers plus reorganization directives, StateTransfer is the
+// direct supplier→consumer partition-group movement, and ResultBatch is the
+// slave→collector output summary. FrameWriter/FrameReader add the batched
+// physical framing described in README.md ("Wire protocol"); framing never
+// changes WireSize.
 package wire
 
 import (
