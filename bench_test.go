@@ -207,7 +207,9 @@ func BenchmarkJoinRoundHash(b *testing.B)    { benchJoinRound(b, join.ModeHash) 
 // iteration is one full distribution epoch through the join module —
 // ingestion, probing, block expiry, and fine tuning — exactly what a live
 // slave executes per round. The "tuples/sec" metric is the sustained
-// processing rate; ModeHash must beat ModeScan by well over 5×.
+// processing rate; ModeHash must beat ModeScan by well over 5×. Allocations
+// are reported because they are the perf story of the arena index + round
+// scratch work: the steady state should allocate close to nothing.
 func BenchmarkLiveProberScan(b *testing.B) { benchLiveProber(b, join.ModeScan) }
 func BenchmarkLiveProberHash(b *testing.B) { benchLiveProber(b, join.ModeHash) }
 
@@ -219,6 +221,7 @@ func benchLiveProber(b *testing.B, mode join.Mode) {
 		Mode:     mode,
 		Expiry:   join.ExpiryBlocks, // the live engine's policy
 	}
+	b.ReportAllocs()
 	m := join.MustNew(cfg)
 	s1, s2 := workload.Pair(workload.Config{
 		Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
@@ -250,6 +253,54 @@ func benchLiveProber(b *testing.B, mode join.Mode) {
 	b.StopTimer()
 	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
 	b.ReportMetric(float64(outputs)/float64(b.N), "outputs/epoch")
+}
+
+// BenchmarkRoundAllocs pins the zero-allocation hot path: a steady-state
+// count-only round (the live slave's inner loop with "-sink count") at the
+// Table-I workload shape, for both live probers. allocs/op should be 0 for
+// hash and scan once the window is warm; the companion AllocsPerRun tests
+// in internal/join assert exactly that, this benchmark keeps the number in
+// the machine-readable perf record (BENCH_PR4.json).
+func BenchmarkRoundAllocs(b *testing.B) {
+	for _, mode := range []join.Mode{join.ModeHash, join.ModeScan} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := join.Config{
+				WindowMs:  30_000,
+				Theta:     1_500_000,
+				FineTune:  true,
+				Mode:      mode,
+				Expiry:    join.ExpiryBlocks,
+				CountOnly: true,
+			}
+			m := join.MustNew(cfg)
+			s1, s2 := workload.Pair(workload.Config{
+				Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
+			})
+			const epochMs = 2_000
+			now := int32(0)
+			nextEpoch := func() []tuple.Tuple {
+				batch := workload.Merge(s1.Batch(now, now+epochMs), s2.Batch(now, now+epochMs))
+				now += epochMs
+				return batch
+			}
+			// Warm to steady state: a full window plus slack for the pooled
+			// structures to reach their high-water marks.
+			for now < 2*cfg.WindowMs {
+				end := now + epochMs
+				m.Process(0, end, nextEpoch())
+			}
+			epochs := make([][]tuple.Tuple, b.N)
+			for i := range epochs {
+				epochs[i] = nextEpoch()
+			}
+			t0 := now - int32(b.N)*epochMs
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i, batch := range epochs {
+				m.Process(0, t0+int32(i+1)*epochMs, batch)
+			}
+		})
+	}
 }
 
 func benchJoinRound(b *testing.B, mode join.Mode) {

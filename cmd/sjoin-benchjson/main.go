@@ -1,0 +1,145 @@
+// Command sjoin-benchjson converts `go test -bench` output into a JSON
+// summary so the perf trajectory of the hot paths is machine-readable
+// across PRs. CI pipes the bench-smoke output through it and uploads the
+// result as BENCH_PR4.json.
+//
+//	go test -bench 'LiveProber|WorkerScaling|RoundAllocs' -benchmem -benchtime 1x -run '^$' ./... \
+//	    | sjoin-benchjson -o BENCH_PR4.json
+//
+// Every benchmark line becomes one record carrying the benchmark name (GOMAXPROCS
+// suffix stripped), the iteration count, and every reported metric —
+// ns/op, B/op, allocs/op, and custom b.ReportMetric units like tuples/sec —
+// keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output: context lines ("goos: linux"),
+// benchmark lines ("BenchmarkX-8  20  123 ns/op  4 B/op  ..."), and
+// everything else (PASS, ok, test logs), which it ignores.
+func parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"), strings.HasPrefix(line, "pkg:"):
+			k, v, _ := strings.Cut(line, ":")
+			// Benchmarks from several packages may share one stream; keep
+			// the first package name and every other context key verbatim.
+			if _, seen := sum.Context[k]; !seen {
+				sum.Context[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				sum.Benchmarks = append(sum.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// parseBenchLine parses one benchmark result line into a Result. Lines that
+// merely name a benchmark without results (e.g. verbose "BenchmarkX" run
+// headers) report ok=false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix ("BenchmarkFoo/sub-8" -> "BenchmarkFoo/sub").
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The rest alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+
+	sum, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sjoin-benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sjoin-benchjson:", err)
+	os.Exit(1)
+}

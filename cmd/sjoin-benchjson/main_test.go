@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: streamjoin
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLiveProberHash 	      20	   1202478 ns/op	        11.60 outputs/epoch	   4985374 tuples/sec	    3018 B/op	       6 allocs/op
+BenchmarkRoundAllocs/hash-8         	      20	   1174299 ns/op	     128 B/op	       0 allocs/op
+PASS
+ok  	streamjoin	6.401s
+pkg: streamjoin/internal/core
+BenchmarkWorkerScaling/W=4-8 	       3	 400000 ns/op
+ok  	streamjoin/internal/core	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sum.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", got)
+	}
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkLiveProberHash" || b.Iterations != 20 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 1202478, "B/op": 3018, "allocs/op": 6,
+		"outputs/epoch": 11.60, "tuples/sec": 4985374,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	// Sub-benchmark names keep the subtest path but lose the -P suffix.
+	if sum.Benchmarks[1].Name != "BenchmarkRoundAllocs/hash" {
+		t.Fatalf("sub-benchmark name = %q", sum.Benchmarks[1].Name)
+	}
+	if sum.Benchmarks[2].Name != "BenchmarkWorkerScaling/W=4" {
+		t.Fatalf("core benchmark name = %q", sum.Benchmarks[2].Name)
+	}
+	if sum.Context["goos"] != "linux" || sum.Context["pkg"] != "streamjoin" {
+		t.Fatalf("context = %v", sum.Context)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	sum, err := parse(strings.NewReader("PASS\nok x 1s\nBenchmarkBroken\nBenchmarkAlso 12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as %d benchmarks", len(sum.Benchmarks))
+	}
+}

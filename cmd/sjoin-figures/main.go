@@ -22,8 +22,9 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate (fig5..fig14, table1, all)")
+		fig   = flag.String("fig", "all", "figure to regenerate (fig5..fig14, table1, live-hist, all)")
 		quick = flag.Bool("quick", false, "quick scale: shorter windows and runs")
+		live  = flag.Bool("live", false, `include live-engine figures (wall-clock runs) in "all"`)
 		out   = flag.String("out", "", "directory to write per-figure data files")
 		seed  = flag.Uint64("seed", 1, "experiment seed")
 		quiet = flag.Bool("q", false, "suppress per-run progress")
@@ -63,6 +64,9 @@ func main() {
 	}
 
 	gens := streamjoin.Figures()
+	if *live {
+		gens = append(gens, streamjoin.LiveFigures()...)
+	}
 	if *fig != "all" {
 		g, ok := streamjoin.FigureByID(*fig)
 		if !ok {

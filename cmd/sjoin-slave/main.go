@@ -3,7 +3,9 @@
 // every slave's mesh address in ID order (used for direct partition-group
 // state movement). Each slave process drives -workers join workers (one per
 // CPU core by default), each owning a disjoint subset of the slave's
-// partition-groups.
+// partition-groups. -sink selects what happens to materialized join pairs:
+// "discard" (materialize then drop, the default) or "count" (skip
+// materialization, counts unchanged).
 //
 //	sjoin-slave -id 0 -ctl localhost:7400 -results localhost:7401 \
 //	    -mesh localhost:7410,localhost:7411 -slaves 2 -window 5s -td 250ms ...

@@ -7,12 +7,16 @@
 // ingested by the master, hash-partitioned into partition-groups, and joined
 // over 5-second sliding windows by two slave nodes running the hash-index
 // prober (set cfg.LiveProber = streamjoin.ProberScan for the paper's
-// block-nested-loop scans) with fine-grained partition tuning.
+// block-nested-loop scans) with fine-grained partition tuning. The actual
+// join results flow out through a Sink: here a callback that samples a few
+// pairs to print (the buffer is pooled, so the callback copies what it
+// keeps).
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"streamjoin"
 )
@@ -29,10 +33,30 @@ func main() {
 	cfg.DurationMs = 8_000   // 8 s wall-clock run
 	cfg.WarmupMs = 2_000     // discard the first 2 s
 
+	// Consume the materialized pairs: keep the first few as samples. The
+	// sink runs on every join worker's goroutine, hence the lock, and must
+	// not retain the pooled slice — it copies the pairs it keeps.
+	var mu sync.Mutex
+	var samples []streamjoin.Pair
+	cfg.Sink = streamjoin.SinkFunc(func(group int32, pairs []streamjoin.Pair) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(samples) < 3 {
+			samples = append(samples, pairs...)
+		}
+	})
+
 	fmt.Println("running a 2-slave live cluster for 8 seconds...")
 	res, err := streamjoin.RunLive(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for i, p := range samples {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("sample pair:        %v joined stored key=%d (ts %dms)\n",
+			p.Probe, p.Stored.Key, p.Stored.TS)
 	}
 
 	fmt.Printf("outputs:            %d join results\n", res.Outputs)

@@ -55,6 +55,19 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 			}
 			return nil
 		})
+	countOnly := def.CountOnly
+	fs.Func("sink", `materialized-pair sink: "discard" (materialize each output pair, then drop it; default) or "count" (count-only: skip pair materialization entirely)`,
+		func(v string) error {
+			switch v {
+			case "discard":
+				countOnly = false
+			case "count":
+				countOnly = true
+			default:
+				return fmt.Errorf("unknown sink %q (want discard or count)", v)
+			}
+			return nil
+		})
 	return func() core.Config {
 		cfg := core.DefaultConfig()
 		cfg.Slaves = *slaves
@@ -79,6 +92,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.DurationMs = int32(*duration / time.Millisecond)
 		cfg.WarmupMs = int32(*warmup / time.Millisecond)
 		cfg.LiveProber = prober
+		cfg.CountOnly = countOnly
 		cfg.WireBatchBytes = *wbatch
 		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
 		cfg.Workers = *workers

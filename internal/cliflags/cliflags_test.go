@@ -53,6 +53,29 @@ func TestFlagOverrides(t *testing.T) {
 	}
 }
 
+func TestSinkFlag(t *testing.T) {
+	parse := func(args ...string) (core.Config, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		get := Bind(fs)
+		if err := fs.Parse(args); err != nil {
+			return core.Config{}, err
+		}
+		return get(), nil
+	}
+	if cfg, err := parse(); err != nil || cfg.CountOnly {
+		t.Fatalf("default sink should materialize (err %v, countOnly %v)", err, cfg.CountOnly)
+	}
+	if cfg, err := parse("-sink", "count"); err != nil || !cfg.CountOnly {
+		t.Fatalf("-sink count: err %v, countOnly %v", err, cfg.CountOnly)
+	}
+	if cfg, err := parse("-sink", "discard"); err != nil || cfg.CountOnly {
+		t.Fatalf("-sink discard: err %v, countOnly %v", err, cfg.CountOnly)
+	}
+	if _, err := parse("-sink", "kafka"); err == nil {
+		t.Fatal("unknown sink should fail to parse")
+	}
+}
+
 func TestProberFlag(t *testing.T) {
 	parse := func(args ...string) (core.Config, error) {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)

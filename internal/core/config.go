@@ -145,6 +145,21 @@ type Config struct {
 	// scan, kept as the ablation baseline). The simulation ignores it.
 	LiveProber join.Mode
 
+	// Sink, when non-nil, receives every round's materialized pairs from
+	// the live probers (see join.Sink for the buffer hand-off contract).
+	// Library callers of RunLive/ServeSlaveTCP set it to consume join
+	// output in-process; nil keeps the default discard-after-count
+	// behavior. A slave running several join workers calls the one Sink
+	// from all of them, so implementations must be safe for concurrent
+	// use. The simulation ignores it (the indexed prober materializes
+	// nothing).
+	Sink join.Sink
+	// CountOnly makes the live probers skip pair materialization entirely:
+	// output counts, delay accounting, and every figure stay identical,
+	// but no join.Pair is ever formed ("-sink count"). Mutually exclusive
+	// with Sink.
+	CountOnly bool
+
 	// Workers is the number of join workers a live slave process hosts:
 	// each worker owns the disjoint subset of the slave's partition-groups
 	// that hashes to it (group mod W), with its own windowed stores and
@@ -251,6 +266,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: WireBatchBytes = %d, want [0, %d]", c.WireBatchBytes, wire.MaxFrameBytes)
 	case c.WireFlushMs < 0:
 		return fmt.Errorf("core: WireFlushMs = %d", c.WireFlushMs)
+	case c.CountOnly && c.Sink != nil:
+		return fmt.Errorf("core: CountOnly skips materialization, so Sink would never fire")
 	case c.Workers < 0:
 		return fmt.Errorf("core: Workers = %d, want >= 0 (0 = one per core)", c.Workers)
 	case c.Beta <= 0 || c.Beta >= 1:
@@ -381,11 +398,13 @@ func (c *Config) epochsPerReorg() int64 {
 // joinConfig builds the join-module configuration.
 func (c *Config) joinConfig() join.Config {
 	return join.Config{
-		WindowMs: c.WindowMs,
-		Theta:    c.Theta,
-		FineTune: c.FineTune,
-		Mode:     c.Mode,
-		Expiry:   c.Expiry,
+		WindowMs:  c.WindowMs,
+		Theta:     c.Theta,
+		FineTune:  c.FineTune,
+		Mode:      c.Mode,
+		Expiry:    c.Expiry,
+		Sink:      c.Sink,
+		CountOnly: c.CountOnly,
 	}
 }
 

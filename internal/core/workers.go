@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"streamjoin/internal/engine"
@@ -37,6 +37,7 @@ type joinWorker struct {
 	backlog  int64                   // tuples
 	cursor   int                     // round-robin start for fairness
 	curChunk int                     // adaptive round size (tuples)
+	ids      []int32                 // reused sweep list (groupList)
 
 	rb *wire.ResultBatch
 
@@ -165,7 +166,7 @@ func (ws *workerSet) flushResults(coll engine.AsyncSender) {
 		}
 		d := statsFromBatch(w.rb)
 		st.Merge(&d)
-		w.rb = &wire.ResultBatch{Slave: ws.slave}
+		*w.rb = wire.ResultBatch{Slave: ws.slave} // reset in place, keep the allocation
 	}
 	if st.Count == 0 {
 		return
@@ -258,22 +259,21 @@ func (w *joinWorker) processBacklog(ws *workerSet, deadline time.Duration) {
 
 // groupList returns the groups to visit this sweep in ascending order: all
 // owned groups plus groups with queued input (first sweep), or only groups
-// with queued input.
+// with queued input. The list reuses the worker's sweep buffer — per-epoch
+// processing keeps no per-sweep allocations.
 func (w *joinWorker) groupList(all bool) []int32 {
-	seen := make(map[int32]bool)
-	var out []int32
+	out := w.ids[:0]
 	if all {
-		for _, id := range w.mod.IDs() {
-			seen[id] = true
-			out = append(out, id)
-		}
+		out = w.mod.AppendIDs(out)
 	}
 	for id, q := range w.input {
-		if len(q) > 0 && !seen[id] {
+		if len(q) > 0 {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	out = slices.Compact(out) // input groups the module also owns
+	w.ids = out
 	return out
 }
 

@@ -183,9 +183,15 @@ func All() []Generator {
 	}
 }
 
-// ByID returns the generator with the given ID.
+// ByID returns the generator with the given ID, searching the simulated
+// figures and the live-engine ones.
 func ByID(id string) (Generator, bool) {
 	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	for _, g := range LiveAll() {
 		if g.ID == id {
 			return g, true
 		}

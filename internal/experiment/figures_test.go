@@ -30,6 +30,36 @@ func TestFigure13TinyEndToEnd(t *testing.T) {
 	}
 }
 
+// TestLiveDelayHistogramTiny runs the live-engine prober ablation figure at
+// Tiny scale (a real wall-clock run, ~16 s): both probers must produce
+// outputs, every histogram series must sum to ~1, and the figure must be
+// addressable through ByID like the simulated ones.
+func TestLiveDelayHistogramTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock live runs")
+	}
+	if _, ok := ByID("live-hist"); !ok {
+		t.Fatal("live-hist not registered with ByID")
+	}
+	o := &Options{Scale: Tiny, Seed: 1}
+	f, err := LiveDelayHistogram(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) == 0 {
+		t.Fatal("no histogram buckets produced")
+	}
+	for _, series := range []string{"hash", "scan"} {
+		sum := 0.0
+		for _, p := range f.Points {
+			sum += p.Values[series]
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("series %q fractions sum to %v, want ~1 (no outputs?)", series, sum)
+		}
+	}
+}
+
 // TestFigure11TinyShape checks Fig. 11's qualitative claims at Tiny scale:
 // aggregate communication grows with the node count while per-node
 // communication falls, and the adaptive system (which shrinks its DoD at

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+
+	"streamjoin/internal/core"
+	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
+)
+
+// This file adds live-engine figures to the harness. Unlike Figures 5–14,
+// which replay the paper's evaluation on the deterministic simulation, these
+// run the real goroutine engine wall-clock, so their durations are scaled
+// down aggressively and their numbers vary run to run. They exist for the
+// ablations the simulation cannot express — here, the delay cost of the
+// prober implementation itself (hash index vs honest nested-loop scan),
+// which in the simulation is a modeled constant.
+
+// liveBase returns the live-run configuration at the chosen scale. Durations
+// are wall-clock: even Full stays in the minutes, not the paper's 20.
+func (o *Options) liveBase() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.Slaves = 2
+	switch o.Scale {
+	case Tiny:
+		cfg.WindowMs = 2_000
+		cfg.DistEpochMs = 250
+		cfg.ReorgEpochMs = 2_500
+		cfg.DurationMs = 8_000
+		cfg.WarmupMs = 3_000
+	case Quick:
+		cfg.WindowMs = 5_000
+		cfg.DistEpochMs = 500
+		cfg.ReorgEpochMs = 5_000
+		cfg.DurationMs = 20_000
+		cfg.WarmupMs = 8_000
+	default:
+		cfg.Slaves = 4
+		cfg.WindowMs = 30_000
+		cfg.DurationMs = 120_000
+		cfg.WarmupMs = 40_000
+	}
+	return cfg
+}
+
+// LiveDelayHistogram reproduces the Figure 5 ablation on the live engine: a
+// production-delay histogram per prober mode (ModeHash vs ModeScan) at the
+// Table-I workload shape. X is the upper edge of each power-of-two delay
+// bucket in milliseconds; each series is the fraction of that prober's
+// outputs landing in the bucket.
+func LiveDelayHistogram(o *Options) (*Figure, error) {
+	f := &Figure{
+		ID:     "live-hist",
+		Title:  "Live-engine production-delay histogram by prober (hash vs scan)",
+		XLabel: "delay bucket upper edge (ms)",
+		YLabel: "fraction of outputs",
+		Series: []string{"hash", "scan"},
+	}
+	hists := map[string]metrics.DelayStats{}
+	maxBucket := 0
+	for _, mode := range []join.Mode{join.ModeHash, join.ModeScan} {
+		cfg := o.liveBase()
+		cfg.LiveProber = mode
+		res, err := core.RunLive(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("live %v run: %w", mode, err)
+		}
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "  live %v: outputs=%d mean=%v p99=%v\n",
+				mode, res.Outputs, res.MeanDelay(), res.Delay.ApproxQuantile(0.99))
+		}
+		hists[mode.String()] = res.Delay
+		for i, n := range res.Delay.Hist {
+			if n > 0 && i > maxBucket {
+				maxBucket = i
+			}
+		}
+	}
+	for i := 0; i <= maxBucket; i++ {
+		p := Point{X: float64(int64(1) << uint(i+1)), Values: map[string]float64{}}
+		for name, d := range hists {
+			if d.Count > 0 {
+				p.Values[name] = float64(d.Hist[i]) / float64(d.Count)
+			}
+		}
+		f.Points = append(f.Points, p)
+	}
+	return f, nil
+}
+
+// LiveAll lists the live-engine figure generators. They are kept out of
+// All() because they run wall-clock; sjoin-figures includes them on request
+// (-live, or -fig live-hist).
+func LiveAll() []Generator {
+	return []Generator{
+		{"live-hist", "Live-engine delay histogram by prober mode", LiveDelayHistogram},
+	}
+}

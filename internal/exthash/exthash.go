@@ -84,15 +84,16 @@ func (d *Dir[B]) CanonicalBits(h uint64) uint32 {
 }
 
 // Buckets calls fn once per distinct bucket with its canonical bits, local
-// depth and value, in increasing canonical-slot order.
+// depth and value, in increasing canonical-slot order. A bucket of local
+// depth d' is referenced by every slot whose low d' bits equal its canonical
+// bits; the smallest such slot index IS the canonical bits, so visiting each
+// bucket exactly once needs no seen-set — the round-processing hot loop
+// iterates the directory allocation-free.
 func (d *Dir[B]) Buckets(fn func(bits uint32, local uint, v B)) {
-	seen := make(map[*entry[B]]bool, len(d.slots))
 	for i, e := range d.slots {
-		if seen[e] {
-			continue
+		if uint64(i)&((1<<e.local)-1) == uint64(i) {
+			fn(uint32(i), e.local, e.val)
 		}
-		seen[e] = true
-		fn(uint32(i)&((1<<e.local)-1), e.local, e.val)
 	}
 }
 

@@ -24,14 +24,6 @@
 // ModeScan performs the honest block-nested-loop scan, tuple comparisons and
 // all — the paper's algorithm and the live engine's ablation baseline.
 //
-// # Concurrency
-//
-// A Module is deliberately lock-free single-goroutine state: the unit of
-// parallelism in this system is the partition-group, not the module. A
-// multi-prober slave gives each of its join workers a private Module over a
-// disjoint subset of the slave's partition-groups (internal/core's
-// workerSet), so modules never need internal synchronization and the
-// per-group join remains bit-identical to the single-worker design.
 // ModeIndexed maintains per-bucket key→count maps and produces identical
 // match counts in O(1) per probe while *reporting* the scan length the
 // nested loop would have performed; the simulation charges virtual CPU from
@@ -41,11 +33,36 @@
 // across every mutation path of the window store: ingestion, block and exact
 // expiry, and bucket splits and merges under fine tuning. The equivalence of
 // the three modes is asserted by tests against a brute-force reference join.
+//
+// # Allocation discipline
+//
+// Steady-state rounds are allocation-free. The hash prober's index is an
+// open-addressing table over a slot arena with free-run recycling
+// (hashIndex), not a map of slices; the per-round working set — bucket
+// partitioning state and the backing arrays of RoundResult.Pairs and
+// RoundResult.Matches — lives in a roundScratch owned by the Module and is
+// reused across rounds. Consequently the slices in a returned RoundResult
+// are only valid until the module's next Process call; callers that retain
+// them must copy. A configured Sink takes over the pair hand-off entirely:
+// rounds deliver pairs to Sink.Emit (which can recycle the buffer by
+// returning it) and RoundResult.Pairs stays nil. Config.CountOnly skips
+// pair materialization altogether for count-only runs.
+//
+// # Concurrency
+//
+// A Module is deliberately lock-free single-goroutine state: the unit of
+// parallelism in this system is the partition-group, not the module. A
+// multi-prober slave gives each of its join workers a private Module over a
+// disjoint subset of the slave's partition-groups (internal/core's
+// workerSet), so modules never need internal synchronization and the
+// per-group join remains bit-identical to the single-worker design. The one
+// shared object is a configured Sink, which every worker's module calls
+// from its own goroutine: implementations must be safe for concurrent use.
 package join
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"streamjoin/internal/exthash"
 	"streamjoin/internal/tuple"
@@ -103,6 +120,14 @@ type Config struct {
 	Expiry Expiry
 	// MaxDepth bounds extendible-hashing local depths (0 = default).
 	MaxDepth uint
+	// Sink, when non-nil, consumes each round's materialized pairs: Process
+	// delivers them to Sink.Emit and RoundResult.Pairs is nil. See Sink for
+	// the buffer hand-off contract.
+	Sink Sink
+	// CountOnly skips pair materialization entirely: rounds still count
+	// matches (Outputs, Matches and Scanned are unchanged) but no Pair is
+	// ever formed and no Sink is invoked. Mutually exclusive with Sink.
+	CountOnly bool
 }
 
 // Validate checks the configuration; New returns its error, so a
@@ -115,6 +140,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("join: Theta = %d, want > 0 when fine tuning", c.Theta)
 	case c.Mode > ModeHash:
 		return fmt.Errorf("join: unknown prober %v", c.Mode)
+	case c.CountOnly && c.Sink != nil:
+		return fmt.Errorf("join: CountOnly skips materialization, so a Sink would never fire")
 	}
 	return nil
 }
@@ -144,10 +171,12 @@ type Pair struct {
 }
 
 // RoundResult summarizes one group's processing round for the cost model
-// and metrics.
+// and metrics. The Matches and Pairs slices are backed by module-owned
+// scratch reused across rounds: they are valid until the module's next
+// Process call, and callers that retain them must copy.
 type RoundResult struct {
 	Matches []Match
-	Pairs   []Pair // materialized outputs (ModeScan and ModeHash)
+	Pairs   []Pair // materialized outputs (ModeScan and ModeHash; nil when a Sink consumed them or CountOnly is set)
 	Outputs int64  // total pairs (sum of Matches[i].N)
 	Scanned int64  // tuples visited by the probe (full scan length for
 	// ModeIndexed/ModeScan; index entries visited for ModeHash)
@@ -156,6 +185,50 @@ type RoundResult struct {
 	SplitMoves int64 // tuples relocated by splits and merges
 	Splits     int
 	Merges     int
+}
+
+// perBucket is one fine-tuning bucket's share of a round: the fresh tuples
+// routed to it, split by stream, in arrival order.
+type perBucket struct {
+	b *bucket
+	f [2][]tuple.Tuple
+}
+
+// roundScratch is the reusable working set of round processing: the bucket
+// partitioning state and the backing arrays handed out through
+// RoundResult (or a Sink). One instance lives in each Module; steady-state
+// rounds therefore allocate nothing.
+type roundScratch struct {
+	perBucket []perBucket
+	pairs     []Pair
+	matches   []Match
+	round     uint64 // round stamp validating bucket.scratchIdx
+}
+
+// acquire appends a (reused) perBucket entry for b and returns its index.
+func (sc *roundScratch) acquire(b *bucket) int32 {
+	n := len(sc.perBucket)
+	if n < cap(sc.perBucket) {
+		sc.perBucket = sc.perBucket[:n+1]
+		e := &sc.perBucket[n]
+		e.b = b
+		e.f[0] = e.f[0][:0]
+		e.f[1] = e.f[1][:0]
+	} else {
+		sc.perBucket = append(sc.perBucket, perBucket{b: b})
+	}
+	return int32(n)
+}
+
+// releaseBuckets clears every bucket reference in the scratch (the whole
+// capacity, not just this round's length) so buckets retired by buddy
+// merges are not pinned — with their window blocks and index arenas — past
+// the round. The fresh-tuple slice backings stay pooled.
+func (sc *roundScratch) releaseBuckets() {
+	full := sc.perBucket[:cap(sc.perBucket)]
+	for i := range full {
+		full[i].b = nil
+	}
 }
 
 // Module is a join worker's state: every partition-group it currently owns.
@@ -167,6 +240,7 @@ type Module struct {
 	groups map[int32]*Group
 	splits int64
 	merges int64
+	sc     roundScratch
 }
 
 // New returns an empty module, or an error when the configuration is
@@ -217,11 +291,16 @@ func (m *Module) Remove(id int32) (*Group, bool) {
 	return g, ok
 }
 
-// Add installs a group built by InstallGroup. It panics if the ID is taken.
+// Add installs a detached group (the counterpart of Remove). It panics if
+// the ID is taken.
 func (m *Module) Add(g *Group) {
 	if _, ok := m.groups[g.id]; ok {
 		panic(fmt.Sprintf("join: group %d already present", g.id))
 	}
+	// The group may come from another module whose scratch round counter is
+	// ahead of ours; clear the bucket stamps so the first round here
+	// re-acquires every bucket instead of trusting a stale index.
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { b.scratchRound = 0 })
 	m.groups[g.id] = g
 }
 
@@ -230,12 +309,19 @@ func (m *Module) NumGroups() int { return len(m.groups) }
 
 // IDs returns the owned group IDs in increasing order.
 func (m *Module) IDs() []int32 {
-	out := make([]int32, 0, len(m.groups))
-	for id := range m.groups {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := m.AppendIDs(make([]int32, 0, len(m.groups)))
+	slices.Sort(out)
 	return out
+}
+
+// AppendIDs appends the owned group IDs to dst in arbitrary order and
+// returns the extended slice (the allocation-free form of IDs for callers
+// that reuse a buffer and sort or dedup themselves).
+func (m *Module) AppendIDs(dst []int32) []int32 {
+	for id := range m.groups {
+		dst = append(dst, id)
+	}
+	return dst
 }
 
 // WindowBytes reports the combined logical size of all window state held.
@@ -247,9 +333,10 @@ func (m *Module) WindowBytes() int64 {
 	return n
 }
 
-// IndexBytes estimates the in-memory footprint of the prober's auxiliary
-// structures across all groups: the key→tuple-slot indexes of ModeHash or
-// the key→count maps of ModeIndexed (zero for ModeScan, which keeps none).
+// IndexBytes reports the in-memory footprint of the prober's auxiliary
+// structures across all groups: exact for ModeHash (the open-addressing
+// tables plus the slot arenas, measured, not modeled), estimated for
+// ModeIndexed's key→count maps, zero for ModeScan (which keeps none).
 // Memory-limited reorganization charges this against SlaveMemBytes, so a
 // node's true footprint — window blocks plus index — drives load shedding.
 func (m *Module) IndexBytes() int64 {
@@ -273,20 +360,44 @@ func (m *Module) Merges() int64 { return m.merges }
 // Process runs one round for the group: ingest and probe the given
 // stream-tagged tuples (timestamp-ordered), then expire, then fine-tune.
 // Every owned group should be processed every round (with tuples=nil when
-// none arrived) so expiration keeps up.
+// none arrived) so expiration keeps up. With a configured Sink the round's
+// materialized pairs are delivered to it instead of being returned; see
+// RoundResult for the returned slices' lifetime.
 func (m *Module) Process(id int32, nowMs int32, tuples []tuple.Tuple) RoundResult {
 	g := m.Ensure(id)
-	res := g.process(nowMs, tuples)
+	res := g.process(&m.sc, nowMs, tuples)
 	m.splits += int64(res.Splits)
 	m.merges += int64(res.Merges)
+	m.sc.matches = res.Matches
+	if m.cfg.Sink != nil {
+		if len(res.Pairs) > 0 {
+			// Hand the buffer off; the sink decides whether it comes back.
+			m.sc.pairs = m.cfg.Sink.Emit(id, res.Pairs)
+		} else {
+			m.sc.pairs = res.Pairs
+		}
+		// A sink-configured module never exposes its pooled buffer, even on
+		// a zero-match round.
+		res.Pairs = nil
+	} else {
+		m.sc.pairs = res.Pairs
+	}
 	return res
 }
 
 // bucket is one fine-tuning unit: a mini-partition-group in paper terms.
 type bucket struct {
 	w      [2]*window.Store
-	counts [2]map[int32]int32   // key → live count; ModeIndexed only
-	idx    [2]map[int32][]int64 // key → live tuple slots, ascending; ModeHash only
+	counts [2]map[int32]int32 // key → live count; ModeIndexed only
+	idx    [2]*hashIndex      // key → live tuple slots, ascending; ModeHash only
+	// onExp keeps the per-stream auxiliary structures coherent with expiry;
+	// built once per bucket so rounds create no closures. The hooks read
+	// counts/idx through the bucket, surviving merge-time rebuilds.
+	onExp [2]func([]tuple.Packed)
+	// scratchRound/scratchIdx locate this bucket's perBucket entry in the
+	// round's scratch (valid when scratchRound matches the current round).
+	scratchRound uint64
+	scratchIdx   int32
 }
 
 func newBucket(mode Mode) *bucket {
@@ -296,29 +407,53 @@ func newBucket(mode Mode) *bucket {
 	case ModeIndexed:
 		b.counts[0] = make(map[int32]int32)
 		b.counts[1] = make(map[int32]int32)
+		for s := 0; s < 2; s++ {
+			b.onExp[s] = b.expireCounts(s)
+		}
 	case ModeHash:
-		b.idx[0] = make(map[int32][]int64)
-		b.idx[1] = make(map[int32][]int64)
+		b.idx[0], b.idx[1] = newHashIndex(), newHashIndex()
+		for s := 0; s < 2; s++ {
+			b.onExp[s] = b.expireIndex(s)
+		}
 	}
 	return b
 }
 
+func (b *bucket) expireCounts(s int) func([]tuple.Packed) {
+	return func(chunk []tuple.Packed) {
+		counts := b.counts[s]
+		for _, p := range chunk {
+			if c := counts[p.Key] - 1; c > 0 {
+				counts[p.Key] = c
+			} else {
+				delete(counts, p.Key)
+			}
+		}
+	}
+}
+
+// expireIndex drops expired tuples' slots. Stores expire strictly
+// oldest-first, so the expiring tuple's slot is always the head of its
+// key's run.
+func (b *bucket) expireIndex(s int) func([]tuple.Packed) {
+	return func(chunk []tuple.Packed) {
+		idx := b.idx[s]
+		for _, p := range chunk {
+			idx.removeOldest(p.Key)
+		}
+	}
+}
+
 func (b *bucket) bytes() int64 { return b.w[0].Bytes() + b.w[1].Bytes() }
 
-// Estimated per-entry costs of the prober auxiliary structures, amortizing
-// Go map bucket overhead and load-factor slack: a hash-index map entry is an
-// int32 key plus a 24-byte slice header (~48 bytes with overhead) and each
-// live tuple occupies one int64 slot in a backing array; an indexed-mode
-// count entry is an int32 key plus int32 count (~16 bytes with overhead).
-const (
-	hashIndexKeyBytes  = 48
-	hashIndexSlotBytes = 8
-	countIndexKeyBytes = 16
-)
+// countIndexKeyBytes estimates an indexed-mode count entry (int32 key plus
+// int32 count, with Go map bucket overhead and load-factor slack amortized).
+// The hash prober needs no such estimate: its index reports an exact
+// footprint.
+const countIndexKeyBytes = 16
 
-// indexBytes estimates the footprint of the bucket's prober structures.
-// Every live tuple holds exactly one slot entry in ModeHash, so the slot
-// total is the stores' live length — no incremental bookkeeping needed.
+// indexBytes reports the footprint of the bucket's prober structures —
+// exact for the hash index, estimated for the count maps.
 func (b *bucket) indexBytes(mode Mode) int64 {
 	var n int64
 	switch mode {
@@ -327,10 +462,7 @@ func (b *bucket) indexBytes(mode Mode) int64 {
 			n += int64(len(b.counts[s])) * countIndexKeyBytes
 		}
 	case ModeHash:
-		for s := 0; s < 2; s++ {
-			n += int64(len(b.idx[s]))*hashIndexKeyBytes +
-				int64(b.w[s].Len())*hashIndexSlotBytes
-		}
+		n = b.idx[0].footprint() + b.idx[1].footprint()
 	}
 	return n
 }
@@ -348,46 +480,20 @@ func (b *bucket) ingestPacked(mode Mode, s int, p tuple.Packed) {
 	case ModeIndexed:
 		b.counts[s][p.Key]++
 	case ModeHash:
-		b.idx[s][p.Key] = append(b.idx[s][p.Key], b.w[s].Appended()-1)
+		b.idx[s].add(p.Key, b.w[s].Appended()-1)
 	}
-}
-
-// onExpire returns the per-tuple expiry callback that keeps stream s's
-// auxiliary structures coherent, or nil when the mode needs none. Stores
-// expire strictly oldest-first, so for ModeHash the expiring tuple's slot is
-// always the head of its key's slot list.
-func (b *bucket) onExpire(mode Mode, s int) func(tuple.Packed) {
-	switch mode {
-	case ModeIndexed:
-		counts := b.counts[s]
-		return func(p tuple.Packed) {
-			if c := counts[p.Key] - 1; c > 0 {
-				counts[p.Key] = c
-			} else {
-				delete(counts, p.Key)
-			}
-		}
-	case ModeHash:
-		idx := b.idx[s]
-		return func(p tuple.Packed) {
-			if l := idx[p.Key]; len(l) > 1 {
-				idx[p.Key] = l[1:]
-			} else {
-				delete(idx, p.Key)
-			}
-		}
-	}
-	return nil
 }
 
 // rebuildIndex reconstructs stream s's hash index from the store content
 // (used after a buddy merge, which rebuilds the store wholesale).
 func (b *bucket) rebuildIndex(s int) {
-	idx := make(map[int32][]int64)
+	idx := newHashIndex()
 	seq := b.w[s].Expired()
-	b.w[s].All(func(p tuple.Packed) {
-		idx[p.Key] = append(idx[p.Key], seq)
-		seq++
+	b.w[s].Chunks(func(chunk []tuple.Packed) {
+		for _, p := range chunk {
+			idx.add(p.Key, seq)
+			seq++
+		}
 	})
 	b.idx[s] = idx
 }
@@ -422,7 +528,7 @@ func (g *Group) WindowBytes() int64 {
 	return n
 }
 
-// IndexBytes estimates the group's prober-index footprint (see
+// IndexBytes reports the group's prober-index footprint (see
 // Module.IndexBytes).
 func (g *Group) IndexBytes() int64 {
 	var n int64
@@ -438,30 +544,28 @@ func (g *Group) bucketFor(key int32) *bucket {
 	return g.dir.Lookup(tuple.FineHash(key))
 }
 
-func (g *Group) process(nowMs int32, tuples []tuple.Tuple) RoundResult {
-	var res RoundResult
+func (g *Group) process(sc *roundScratch, nowMs int32, tuples []tuple.Tuple) RoundResult {
+	res := RoundResult{Pairs: sc.pairs[:0], Matches: sc.matches[:0]}
 	mode := g.cfg.Mode
 
 	// Partition the round's tuples by bucket, preserving timestamp order,
-	// with deterministic first-seen bucket ordering.
-	type perBucket struct {
-		b *bucket
-		f [2][]tuple.Tuple
-	}
-	var order []*perBucket
-	index := make(map[*bucket]*perBucket)
+	// with deterministic first-seen bucket ordering. The partitioning state
+	// is scratch reused across rounds: buckets stamped with the current
+	// round number index straight into it, so there is no per-round map.
+	sc.round++
+	sc.perBucket = sc.perBucket[:0]
 	for _, t := range tuples {
 		b := g.bucketFor(t.Key)
-		pb, ok := index[b]
-		if !ok {
-			pb = &perBucket{b: b}
-			index[b] = pb
-			order = append(order, pb)
+		if b.scratchRound != sc.round {
+			b.scratchRound = sc.round
+			b.scratchIdx = sc.acquire(b)
 		}
+		pb := &sc.perBucket[b.scratchIdx]
 		pb.f[t.Stream] = append(pb.f[t.Stream], t)
 	}
 
-	for _, pb := range order {
+	for i := range sc.perBucket {
+		pb := &sc.perBucket[i]
 		b := pb.b
 		// fresh(S1) probes stored(S2): S2's fresh tuples are not ingested
 		// yet, which is the paper's "omit the fresh tuples within the head
@@ -482,11 +586,10 @@ func (g *Group) process(nowMs int32, tuples []tuple.Tuple) RoundResult {
 	cutoff := nowMs - g.cfg.WindowMs
 	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
 		for s := 0; s < 2; s++ {
-			onExp := b.onExpire(mode, s)
 			if g.cfg.Expiry == ExpiryExact {
-				res.Expired += b.w[s].ExpireExact(cutoff, onExp)
+				res.Expired += b.w[s].ExpireExact(cutoff, b.onExp[s])
 			} else {
-				res.Expired += b.w[s].ExpireBlocks(cutoff, onExp)
+				res.Expired += b.w[s].ExpireBlocks(cutoff, b.onExp[s])
 			}
 		}
 	})
@@ -494,13 +597,16 @@ func (g *Group) process(nowMs int32, tuples []tuple.Tuple) RoundResult {
 	if g.cfg.FineTune {
 		g.tune(&res)
 	}
+	sc.releaseBuckets()
 	return res
 }
 
 // ProbeOnly joins the given tuples against the group's stored windows
 // without ingesting them, as the cascaded probe copies of a CTR-style
 // router require (the copy is stored at its home node only). Expiry and
-// tuning do not run; only Matches, Outputs and Scanned are filled in.
+// tuning do not run; only Matches, Outputs and Scanned are filled in
+// (plus Pairs for the materializing probers; no scratch or Sink is
+// involved, so the returned slices are the caller's to keep).
 func (g *Group) ProbeOnly(tuples []tuple.Tuple) RoundResult {
 	var res RoundResult
 	for _, t := range tuples {
@@ -529,17 +635,32 @@ func (g *Group) probeOne(b *bucket, res *RoundResult, t tuple.Tuple, opp int) {
 		n = b.countIn(opp, t.Key)
 		res.Scanned += int64(b.w[opp].Len())
 	case ModeScan:
-		b.w[opp].All(func(p tuple.Packed) {
-			if p.Key == t.Key {
-				n++
-				res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: p})
-			}
-		})
+		key := t.Key
+		if g.cfg.CountOnly {
+			b.w[opp].Chunks(func(chunk []tuple.Packed) {
+				for _, p := range chunk {
+					if p.Key == key {
+						n++
+					}
+				}
+			})
+		} else {
+			b.w[opp].Chunks(func(chunk []tuple.Packed) {
+				for _, p := range chunk {
+					if p.Key == key {
+						n++
+						res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: p})
+					}
+				}
+			})
+		}
 		res.Scanned += int64(b.w[opp].Len())
 	case ModeHash:
-		slots := b.idx[opp][t.Key]
-		for _, seq := range slots {
-			res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: b.w[opp].At(seq)})
+		slots := b.idx[opp].slots(t.Key)
+		if !g.cfg.CountOnly {
+			for _, seq := range slots {
+				res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: b.w[opp].At(seq)})
+			}
 		}
 		n = int64(len(slots))
 		res.Scanned += n
@@ -573,13 +694,15 @@ func (g *Group) tune(res *RoundResult) {
 			ok := g.dir.Split(uint64(bits), func(old *bucket, bit uint) (*bucket, *bucket) {
 				zero, one := newBucket(g.cfg.Mode), newBucket(g.cfg.Mode)
 				for s := 0; s < 2; s++ {
-					old.w[s].All(func(p tuple.Packed) {
-						dst := zero
-						if tuple.FineHash(p.Key)>>bit&1 == 1 {
-							dst = one
+					old.w[s].Chunks(func(chunk []tuple.Packed) {
+						for _, p := range chunk {
+							dst := zero
+							if tuple.FineHash(p.Key)>>bit&1 == 1 {
+								dst = one
+							}
+							dst.ingestPacked(g.cfg.Mode, s, p)
+							res.SplitMoves++
 						}
-						dst.ingestPacked(g.cfg.Mode, s, p)
-						res.SplitMoves++
 					})
 				}
 				return zero, one
@@ -607,26 +730,25 @@ func (g *Group) tune(res *RoundResult) {
 			ok := g.dir.TryMergeBuddy(uint64(bits),
 				func(a, b *bucket) bool { return a.bytes()+b.bytes() < 2*theta },
 				func(zero, one *bucket) *bucket {
-					m := &bucket{}
-					m.w[0] = window.MergeStores(zero.w[0], one.w[0])
-					m.w[1] = window.MergeStores(zero.w[1], one.w[1])
+					nb := newBucket(g.cfg.Mode)
+					nb.w[0] = window.MergeStores(zero.w[0], one.w[0])
+					nb.w[1] = window.MergeStores(zero.w[1], one.w[1])
 					switch g.cfg.Mode {
 					case ModeIndexed:
 						for s := 0; s < 2; s++ {
-							m.counts[s] = make(map[int32]int32, len(zero.counts[s])+len(one.counts[s]))
 							for k, v := range zero.counts[s] {
-								m.counts[s][k] += v
+								nb.counts[s][k] += v
 							}
 							for k, v := range one.counts[s] {
-								m.counts[s][k] += v
+								nb.counts[s][k] += v
 							}
 						}
 					case ModeHash:
-						m.rebuildIndex(0)
-						m.rebuildIndex(1)
+						nb.rebuildIndex(0)
+						nb.rebuildIndex(1)
 					}
-					res.SplitMoves += int64(m.w[0].Len() + m.w[1].Len())
-					return m
+					res.SplitMoves += int64(nb.w[0].Len() + nb.w[1].Len())
+					return nb
 				})
 			if ok {
 				merged = true

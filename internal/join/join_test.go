@@ -383,6 +383,46 @@ func TestStateExtractInstallRoundtrip(t *testing.T) {
 	}
 }
 
+// TestAddResetsScratchStamps moves a live group between modules via
+// Remove+Add (no wire round-trip, so the buckets carry the donor's scratch
+// stamps) and checks the receiver still routes and joins correctly — the
+// stale-stamp collision would misroute tuples or panic on the first round.
+func TestAddResetsScratchStamps(t *testing.T) {
+	for _, mode := range []Mode{ModeIndexed, ModeScan, ModeHash} {
+		donor := MustNew(testCfg(mode))
+		control := MustNew(testCfg(mode))
+		rounds := randRounds(31, 8, 150, 40)
+		now := int32(0)
+		for _, b := range rounds {
+			now += 500
+			donor.Process(0, now, b)
+			control.Process(0, now, b)
+		}
+		for _, b := range rounds {
+			for _, tp := range b {
+				if tp.TS > now {
+					now = tp.TS
+				}
+			}
+		}
+		recv := MustNew(testCfg(mode))
+		recv.Process(1, now, nil) // advance the receiver's round counter past 0
+		g, ok := donor.Remove(0)
+		if !ok {
+			t.Fatal("group missing")
+		}
+		recv.Add(g)
+		for i, b := range randRoundsFrom(32, 5, 150, 40, now) {
+			now += 500
+			ra := recv.Process(0, now, b)
+			rb := control.Process(0, now, b)
+			if ra.Outputs != rb.Outputs || !reflect.DeepEqual(ra.Matches, rb.Matches) {
+				t.Fatalf("mode %v round %d after Add: outputs %d vs %d", mode, i, ra.Outputs, rb.Outputs)
+			}
+		}
+	}
+}
+
 func TestInstallRejectsDuplicateGroup(t *testing.T) {
 	m := MustNew(testCfg(ModeIndexed))
 	m.Ensure(3)

@@ -17,9 +17,32 @@ func distinctRound(n int, ts int32) []tuple.Tuple {
 	return out
 }
 
-// TestIndexBytesTracksHashIndex checks the accounting satellite: the hash
-// prober's key→slot index is charged, grows with distinct keys and live
-// tuples, and vanishes when the window drains.
+// hashFootprint recomputes the module's hash-index footprint from the index
+// internals: every bucket's open-addressing table plus slot arena.
+func hashFootprint(t *testing.T, m *Module) int64 {
+	t.Helper()
+	var n int64
+	for _, id := range m.IDs() {
+		g, _ := m.Get(id)
+		g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
+			for s := 0; s < 2; s++ {
+				n += int64(len(b.idx[s].entries))*idxEntryBytes +
+					int64(cap(b.idx[s].arena))*8
+				// The index must cover exactly the live tuples, one slot
+				// each.
+				if got, want := b.idx[s].liveSlots(), b.w[s].Len(); got != want {
+					t.Fatalf("index covers %d slots for %d live tuples", got, want)
+				}
+			}
+		})
+	}
+	return n
+}
+
+// TestIndexBytesTracksHashIndex checks the exact accounting: the hash
+// prober's charge equals the arena index's actual footprint (table plus
+// arena), grows with distinct keys and duplicate slots, and vanishes when
+// the window drains.
 func TestIndexBytesTracksHashIndex(t *testing.T) {
 	m := MustNew(testCfg(ModeHash))
 	if m.IndexBytes() != 0 {
@@ -29,21 +52,25 @@ func TestIndexBytesTracksHashIndex(t *testing.T) {
 	const keys = 500
 	m.Process(0, 100, distinctRound(keys, 100))
 	got := m.IndexBytes()
-	// 500 distinct keys and 500 live tuples per stream.
-	want := int64(2 * keys * (hashIndexKeyBytes + hashIndexSlotBytes))
-	if got != want {
-		t.Fatalf("index bytes = %d, want %d", got, want)
+	if want := hashFootprint(t, m); got != want {
+		t.Fatalf("index bytes = %d, want exact footprint %d", got, want)
+	}
+	if got < int64(2*keys*idxEntryBytes) {
+		t.Fatalf("index bytes = %d, below the floor of %d table entries", got, 2*keys)
 	}
 	if m.MemoryBytes() != m.WindowBytes()+got {
 		t.Fatalf("MemoryBytes %d != WindowBytes %d + IndexBytes %d",
 			m.MemoryBytes(), m.WindowBytes(), got)
 	}
 
-	// Duplicate keys add slots but no new map entries.
+	// Duplicate keys add arena slots (runs grow) but no new keys.
 	m.Process(0, 200, distinctRound(keys, 200))
-	want += int64(2 * keys * hashIndexSlotBytes)
-	if got := m.IndexBytes(); got != want {
-		t.Fatalf("after duplicates: index bytes = %d, want %d", got, want)
+	got2 := m.IndexBytes()
+	if want := hashFootprint(t, m); got2 != want {
+		t.Fatalf("after duplicates: index bytes = %d, want %d", got2, want)
+	}
+	if got2 <= got {
+		t.Fatalf("duplicate slots did not grow the arena: %d -> %d", got, got2)
 	}
 
 	// Exact expiry far past the window drains stores and index together.
@@ -58,7 +85,7 @@ func TestIndexBytesTracksHashIndex(t *testing.T) {
 
 // TestIndexBytesByMode checks that every prober charges its own structures:
 // the scan prober keeps none, the simulation's count maps cost less than the
-// hash slot index.
+// hash prober's table-plus-arena.
 func TestIndexBytesByMode(t *testing.T) {
 	round := distinctRound(200, 50)
 	scan := MustNew(testCfg(ModeScan))
@@ -79,14 +106,14 @@ func TestIndexBytesByMode(t *testing.T) {
 			indexed.IndexBytes(), hash.IndexBytes())
 	}
 	if indexed.IndexBytes() >= hash.IndexBytes() {
-		t.Fatalf("count maps (%d) should cost less than slot indexes (%d)",
+		t.Fatalf("count maps (%d) should cost less than the slot index (%d)",
 			indexed.IndexBytes(), hash.IndexBytes())
 	}
 }
 
 // TestIndexBytesSurvivesSplitsAndMerges checks coherence of the accounting
 // across fine-tuning relocation: after splits and merges the charged index
-// still matches a freshly computed one (live keys and tuples).
+// still matches the exact footprint and covers exactly the live tuples.
 func TestIndexBytesSurvivesSplitsAndMerges(t *testing.T) {
 	m := MustNew(testCfg(ModeHash))
 	ts := int32(0)
@@ -97,25 +124,7 @@ func TestIndexBytesSurvivesSplitsAndMerges(t *testing.T) {
 	if m.Splits() == 0 || m.Merges() == 0 {
 		t.Skipf("workload did not exercise tuning: splits=%d merges=%d", m.Splits(), m.Merges())
 	}
-	g, ok := m.Get(0)
-	if !ok {
-		t.Fatal("group 0 missing")
-	}
-	var want int64
-	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
-		for s := 0; s < 2; s++ {
-			want += int64(len(b.idx[s]))*hashIndexKeyBytes + int64(b.w[s].Len())*hashIndexSlotBytes
-			// The index must cover exactly the live tuples.
-			n := 0
-			for _, slots := range b.idx[s] {
-				n += len(slots)
-			}
-			if n != b.w[s].Len() {
-				t.Fatalf("index covers %d slots for %d live tuples", n, b.w[s].Len())
-			}
-		}
-	})
-	if got := m.IndexBytes(); got != want {
+	if got, want := m.IndexBytes(), hashFootprint(t, m); got != want {
 		t.Fatalf("index bytes = %d, want %d", got, want)
 	}
 }

@@ -1,0 +1,95 @@
+package join
+
+// Sink is a pluggable consumer for the pairs a round materializes (ModeScan
+// and ModeHash). When a module has one, Process delivers each round's pairs
+// to Emit instead of returning them in RoundResult.Pairs, which gives the
+// module's pooled pair buffers a defined hand-off point:
+//
+//   - Emit receives ownership of the pairs slice. The module will never
+//     read or write a delivered buffer again until it is handed back.
+//   - Emit's return value hands a buffer back for recycling: a synchronous
+//     sink that is done with the pairs by the time it returns (callback,
+//     counter, discard) returns its argument, and the module reuses the
+//     backing array for the next round — the steady state allocates
+//     nothing. A sink that retains or forwards the pairs (e.g. a channel)
+//     returns nil, or any previously consumed buffer it wants to donate
+//     back.
+//
+// A slave running W > 1 join workers drives one Module per worker over the
+// same configured Sink, so implementations must be safe for concurrent use
+// (each call still receives a buffer owned by exactly one module).
+type Sink interface {
+	Emit(group int32, pairs []Pair) (recycle []Pair)
+}
+
+// SinkFunc adapts a synchronous callback to a Sink. The callback must not
+// retain the slice: the buffer is recycled as soon as it returns.
+type SinkFunc func(group int32, pairs []Pair)
+
+// Emit implements Sink, recycling the buffer immediately.
+func (f SinkFunc) Emit(group int32, pairs []Pair) []Pair {
+	f(group, pairs)
+	return pairs
+}
+
+// DiscardSink drops every pair, recycling the buffer immediately. It is the
+// emission-cost-without-a-consumer baseline: materialization runs, delivery
+// is free. (A module with no Sink at all behaves the same but returns the
+// pairs through RoundResult for the caller to inspect.)
+type DiscardSink struct{}
+
+// Emit implements Sink.
+func (DiscardSink) Emit(_ int32, pairs []Pair) []Pair { return pairs }
+
+// Emitted is one round's delivery on a ChanSink: the producing
+// partition-group and its materialized pairs.
+type Emitted struct {
+	Group int32
+	Pairs []Pair
+}
+
+// ChanSink forwards each round's pairs over a channel to a consumer
+// goroutine. Emit blocks when C is full — backpressure propagates to the
+// join worker rather than dropping output. Consumers return exhausted
+// buffers through Done, which feeds the module's recycling on a later Emit;
+// a consumer that never calls Done just costs one fresh buffer per round.
+//
+// Termination contract: the sink does not know when the run ends, so the
+// producer side owns closing C — close it only after the engine has fully
+// stopped (RunLive or ServeSlaveTCP returned), never while a join worker
+// could still Emit, and a `for e := range sink.C` consumer then drains and
+// exits cleanly. A consumer that stops receiving before then deadlocks the
+// workers instead (that is the backpressure, not a bug).
+type ChanSink struct {
+	C       chan Emitted
+	recycle chan []Pair
+}
+
+// NewChanSink returns a ChanSink whose delivery channel buffers buf rounds.
+func NewChanSink(buf int) *ChanSink {
+	return &ChanSink{
+		C:       make(chan Emitted, buf),
+		recycle: make(chan []Pair, buf+1),
+	}
+}
+
+// Emit implements Sink: it hands the buffer to the consumer and recycles a
+// previously returned one when available.
+func (s *ChanSink) Emit(group int32, pairs []Pair) []Pair {
+	s.C <- Emitted{Group: group, Pairs: pairs}
+	select {
+	case r := <-s.recycle:
+		return r
+	default:
+		return nil
+	}
+}
+
+// Done returns a consumed buffer for recycling. It never blocks; when the
+// recycle queue is full the buffer is simply left to the garbage collector.
+func (s *ChanSink) Done(pairs []Pair) {
+	select {
+	case s.recycle <- pairs:
+	default:
+	}
+}

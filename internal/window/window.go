@@ -12,6 +12,15 @@
 // Positions for "fresh tuple" tracking are absolute append sequence numbers,
 // which stay valid across expiry: live tuples always form the contiguous
 // sequence range [Expired(), Appended()).
+//
+// # Allocation discipline
+//
+// The store is built for an allocation-free steady state: expired block
+// buffers are recycled into a small free list that Append draws from, the
+// block directory is compacted in place instead of re-sliced, and iteration
+// is chunked (Chunks, FromSeqChunks, and the chunk-slice expiry callbacks)
+// so hot loops run over contiguous []tuple.Packed runs instead of paying a
+// function call per tuple.
 package window
 
 import (
@@ -20,12 +29,18 @@ import (
 	"streamjoin/internal/tuple"
 )
 
+// maxFreeBlocks bounds the per-store recycled-block list. Steady-state round
+// processing drops and refills at most a few blocks per round; the cap keeps
+// a store that shrank for good from pinning its peak footprint forever.
+const maxFreeBlocks = 32
+
 // Store is one stream's window content within a fine-tuning bucket.
 type Store struct {
 	blocks   [][]tuple.Packed
-	start    int   // live offset into blocks[0]
-	appended int64 // tuples ever appended
-	expired  int64 // tuples ever expired
+	start    int              // live offset into blocks[0]
+	appended int64            // tuples ever appended
+	expired  int64            // tuples ever expired
+	free     [][]tuple.Packed // recycled block buffers (len 0, full capacity)
 }
 
 // NewStore returns an empty store.
@@ -47,6 +62,44 @@ func (s *Store) Appended() int64 { return s.appended }
 // Expired returns the number of tuples expired so far.
 func (s *Store) Expired() int64 { return s.expired }
 
+// newBlock returns an empty block buffer, recycled when one is available.
+func (s *Store) newBlock() []tuple.Packed {
+	if n := len(s.free); n > 0 {
+		blk := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return blk
+	}
+	return make([]tuple.Packed, 0, tuple.TuplesPerBlock)
+}
+
+// dropBlock retires the oldest block: its buffer joins the free list and the
+// block directory is compacted in place (keeping its backing array, so the
+// next Append reuses the tail slot instead of reallocating the directory).
+func (s *Store) dropBlock() {
+	blk := s.blocks[0]
+	if len(s.free) < maxFreeBlocks {
+		s.free = append(s.free, blk[:0])
+	}
+	n := copy(s.blocks, s.blocks[1:])
+	s.blocks[n] = nil
+	s.blocks = s.blocks[:n]
+	s.start = 0
+}
+
+// push appends p without the order check: internal callers (Append after its
+// check, MergeStores rebuilding from already-ordered input) guarantee
+// non-decreasing timestamps.
+func (s *Store) push(p tuple.Packed) {
+	n := len(s.blocks)
+	if n == 0 || len(s.blocks[n-1]) == tuple.TuplesPerBlock {
+		s.blocks = append(s.blocks, s.newBlock())
+		n++
+	}
+	s.blocks[n-1] = append(s.blocks[n-1], p)
+	s.appended++
+}
+
 // Append adds p at the head of the window. Tuples must arrive in
 // non-decreasing timestamp order; Append panics otherwise, because every
 // correctness property of expiry depends on it.
@@ -58,30 +111,38 @@ func (s *Store) Append(p tuple.Packed) {
 				p.TS, last[len(last)-1].TS))
 		}
 	}
-	if n := len(s.blocks); n == 0 || len(s.blocks[n-1]) == tuple.TuplesPerBlock {
-		s.blocks = append(s.blocks, make([]tuple.Packed, 0, tuple.TuplesPerBlock))
+	s.push(p)
+}
+
+// Chunks calls fn for every contiguous run of live tuples in temporal order.
+// It is the bulk form of All: hot loops (probe scans, split relocation,
+// index rebuilds) iterate the run with an inner range loop instead of paying
+// a function call per tuple. The slices alias the store's blocks and are
+// only valid during the call.
+func (s *Store) Chunks(fn func([]tuple.Packed)) {
+	for i, blk := range s.blocks {
+		if i == 0 {
+			blk = blk[s.start:]
+		}
+		if len(blk) > 0 {
+			fn(blk)
+		}
 	}
-	n := len(s.blocks)
-	s.blocks[n-1] = append(s.blocks[n-1], p)
-	s.appended++
 }
 
 // All calls fn for every live tuple in temporal order.
 func (s *Store) All(fn func(tuple.Packed)) {
-	for i, blk := range s.blocks {
-		ts := blk
-		if i == 0 {
-			ts = blk[s.start:]
-		}
-		for _, p := range ts {
+	s.Chunks(func(chunk []tuple.Packed) {
+		for _, p := range chunk {
 			fn(p)
 		}
-	}
+	})
 }
 
-// FromSeq calls fn for every live tuple with append sequence ≥ seq, in
-// temporal order. It is how a processing round iterates its fresh tuples.
-func (s *Store) FromSeq(seq int64, fn func(tuple.Packed)) {
+// FromSeqChunks calls fn for every contiguous run of live tuples with append
+// sequence ≥ seq, in temporal order (the chunked form of FromSeq; the same
+// aliasing rules as Chunks apply).
+func (s *Store) FromSeqChunks(seq int64, fn func([]tuple.Packed)) {
 	if seq < s.expired {
 		seq = s.expired
 	}
@@ -95,11 +156,21 @@ func (s *Store) FromSeq(seq int64, fn func(tuple.Packed)) {
 			skip -= int64(len(ts))
 			continue
 		}
-		for _, p := range ts[skip:] {
-			fn(p)
+		if len(ts[skip:]) > 0 {
+			fn(ts[skip:])
 		}
 		skip = 0
 	}
+}
+
+// FromSeq calls fn for every live tuple with append sequence ≥ seq, in
+// temporal order.
+func (s *Store) FromSeq(seq int64, fn func(tuple.Packed)) {
+	s.FromSeqChunks(seq, func(chunk []tuple.Packed) {
+		for _, p := range chunk {
+			fn(p)
+		}
+	})
 }
 
 // At returns the live tuple with the given append sequence number. Blocks
@@ -120,42 +191,41 @@ func (s *Store) At(seq int64) tuple.Packed {
 // Snapshot returns the live tuples in temporal order (state movement).
 func (s *Store) Snapshot() []tuple.Packed {
 	out := make([]tuple.Packed, 0, s.Len())
-	s.All(func(p tuple.Packed) { out = append(out, p) })
+	s.Chunks(func(chunk []tuple.Packed) { out = append(out, chunk...) })
 	return out
 }
 
 // ExpireExact removes every live tuple with TS < cutoff, invoking fn (if
-// non-nil) per removed tuple, and returns the number removed.
-func (s *Store) ExpireExact(cutoff int32, fn func(tuple.Packed)) int {
+// non-nil) per removed contiguous run, and returns the number removed. The
+// chunk passed to fn aliases the store and is only valid during the call.
+func (s *Store) ExpireExact(cutoff int32, fn func([]tuple.Packed)) int {
 	removed := 0
 	for len(s.blocks) > 0 {
-		blk := s.blocks[0]
-		live := blk[s.start:]
+		live := s.blocks[0][s.start:]
 		if len(live) == 0 {
-			s.blocks = s.blocks[1:]
-			s.start = 0
+			s.dropBlock()
 			continue
 		}
 		if live[len(live)-1].TS < cutoff {
 			// Whole block expired.
-			for _, p := range live {
-				if fn != nil {
-					fn(p)
-				}
+			if fn != nil {
+				fn(live)
 			}
 			removed += len(live)
-			s.blocks = s.blocks[1:]
-			s.start = 0
+			s.dropBlock()
 			continue
 		}
 		// Partial: advance start within the block.
-		for len(live) > 0 && live[0].TS < cutoff {
+		k := 0
+		for k < len(live) && live[k].TS < cutoff {
+			k++
+		}
+		if k > 0 {
 			if fn != nil {
-				fn(live[0])
+				fn(live[:k])
 			}
-			live = live[1:]
-			s.start++
-			removed++
+			s.start += k
+			removed += k
 		}
 		break
 	}
@@ -168,23 +238,20 @@ func (s *Store) ExpireExact(cutoff int32, fn func(tuple.Packed)) int {
 
 // ExpireBlocks removes only whole blocks whose newest tuple has TS < cutoff
 // — the paper's block-granularity expiration. The (possibly partial) newest
-// block is never removed. fn, if non-nil, is invoked per removed tuple.
-func (s *Store) ExpireBlocks(cutoff int32, fn func(tuple.Packed)) int {
+// block is never removed. fn, if non-nil, is invoked per removed run, with
+// the same aliasing rules as ExpireExact.
+func (s *Store) ExpireBlocks(cutoff int32, fn func([]tuple.Packed)) int {
 	removed := 0
 	for len(s.blocks) > 1 || (len(s.blocks) == 1 && len(s.blocks[0]) == tuple.TuplesPerBlock) {
-		blk := s.blocks[0]
-		live := blk[s.start:]
+		live := s.blocks[0][s.start:]
 		if len(live) > 0 && live[len(live)-1].TS >= cutoff {
 			break
 		}
-		for _, p := range live {
-			if fn != nil {
-				fn(p)
-			}
+		if len(live) > 0 && fn != nil {
+			fn(live)
 		}
 		removed += len(live)
-		s.blocks = s.blocks[1:]
-		s.start = 0
+		s.dropBlock()
 	}
 	if len(s.blocks) == 0 {
 		s.start = 0
@@ -224,26 +291,57 @@ func (s *Store) NewestTS() (int32, bool) {
 	return 0, false
 }
 
+// cursor walks a store's live tuples without copying them.
+type cursor struct {
+	s   *Store
+	blk int
+	off int
+}
+
+func (c *cursor) init(s *Store) { c.s, c.blk, c.off = s, 0, s.start }
+
+func (c *cursor) next() (tuple.Packed, bool) {
+	for c.blk < len(c.s.blocks) {
+		blk := c.s.blocks[c.blk]
+		if c.off < len(blk) {
+			p := blk[c.off]
+			c.off++
+			return p, true
+		}
+		c.blk++
+		c.off = 0
+	}
+	return tuple.Packed{}, false
+}
+
 // MergeStores builds a new store holding the live tuples of a and b merged
-// in timestamp order (buddy-bucket merging during fine tuning).
+// in timestamp order (buddy-bucket merging during fine tuning). The merge
+// streams straight from the source blocks — no intermediate snapshot copy —
+// and appends through the unchecked path, since merging two ordered stores
+// by timestamp is ordered by construction.
 func MergeStores(a, b *Store) *Store {
-	sa, sb := a.Snapshot(), b.Snapshot()
 	out := NewStore()
-	i, j := 0, 0
-	for i < len(sa) && j < len(sb) {
-		if sa[i].TS <= sb[j].TS {
-			out.Append(sa[i])
-			i++
+	var ca, cb cursor
+	ca.init(a)
+	cb.init(b)
+	pa, okA := ca.next()
+	pb, okB := cb.next()
+	for okA && okB {
+		if pa.TS <= pb.TS {
+			out.push(pa)
+			pa, okA = ca.next()
 		} else {
-			out.Append(sb[j])
-			j++
+			out.push(pb)
+			pb, okB = cb.next()
 		}
 	}
-	for ; i < len(sa); i++ {
-		out.Append(sa[i])
+	for okA {
+		out.push(pa)
+		pa, okA = ca.next()
 	}
-	for ; j < len(sb); j++ {
-		out.Append(sb[j])
+	for okB {
+		out.push(pb)
+		pb, okB = cb.next()
 	}
 	return out
 }

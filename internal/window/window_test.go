@@ -100,7 +100,11 @@ func TestExpireExact(t *testing.T) {
 		s.Append(pk(i, i*10))
 	}
 	var removed []int32
-	n := s.ExpireExact(500, func(p tuple.Packed) { removed = append(removed, p.TS) })
+	n := s.ExpireExact(500, func(chunk []tuple.Packed) {
+		for _, p := range chunk {
+			removed = append(removed, p.TS)
+		}
+	})
 	if n != 50 || s.Len() != 50 {
 		t.Fatalf("removed %d, live %d", n, s.Len())
 	}
@@ -275,6 +279,106 @@ func TestQuickLivenessInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChunksMatchAll(t *testing.T) {
+	s := NewStore()
+	for i := int32(0); i < 500; i++ {
+		s.Append(pk(i, i/3))
+	}
+	s.ExpireExact(50, nil)
+	var fromAll, fromChunks []tuple.Packed
+	s.All(func(p tuple.Packed) { fromAll = append(fromAll, p) })
+	s.Chunks(func(c []tuple.Packed) { fromChunks = append(fromChunks, c...) })
+	if len(fromChunks) != len(fromAll) || len(fromChunks) != s.Len() {
+		t.Fatalf("chunks yielded %d tuples, All %d, Len %d",
+			len(fromChunks), len(fromAll), s.Len())
+	}
+	for i := range fromAll {
+		if fromAll[i] != fromChunks[i] {
+			t.Fatalf("chunk iteration diverges at %d", i)
+		}
+	}
+}
+
+func TestFromSeqChunksMatchesFromSeq(t *testing.T) {
+	s := NewStore()
+	for i := int32(0); i < 300; i++ {
+		s.Append(pk(i, i))
+	}
+	s.ExpireExact(90, nil)
+	for _, mark := range []int64{0, 90, 100, 170, 299, 300} {
+		var a, b []tuple.Packed
+		s.FromSeq(mark, func(p tuple.Packed) { a = append(a, p) })
+		s.FromSeqChunks(mark, func(c []tuple.Packed) { b = append(b, c...) })
+		if len(a) != len(b) {
+			t.Fatalf("mark %d: %d vs %d tuples", mark, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mark %d: diverges at %d", mark, i)
+			}
+		}
+	}
+}
+
+// TestExpiryChunksAreOrderedAndComplete checks the chunked expiry callback
+// contract: the chunks concatenate to exactly the removed tuples, in
+// temporal order, under both policies.
+func TestExpiryChunksAreOrderedAndComplete(t *testing.T) {
+	f := func(seed int64, cutRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		ts := int32(0)
+		for i := 0; i < 400; i++ {
+			ts += int32(r.Intn(4))
+			s.Append(pk(int32(i), ts))
+		}
+		cutoff := int32(cutRaw) % (ts + 2)
+		var got []tuple.Packed
+		var n int
+		if seed%2 == 0 {
+			n = s.ExpireExact(cutoff, func(c []tuple.Packed) { got = append(got, c...) })
+		} else {
+			n = s.ExpireBlocks(cutoff, func(c []tuple.Packed) { got = append(got, c...) })
+		}
+		if len(got) != n {
+			return false
+		}
+		last := int32(-1)
+		for _, p := range got {
+			if p.TS < last || p.TS >= cutoff {
+				return false
+			}
+			last = p.TS
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockRecyclingSteadyState checks the allocation discipline: a store
+// cycling through append/expire at a steady rate reuses its expired block
+// buffers instead of allocating fresh ones.
+func TestBlockRecyclingSteadyState(t *testing.T) {
+	s := NewStore()
+	// Fill past several blocks, then settle into a steady window.
+	ts := int32(0)
+	for i := 0; i < 50*tuple.TuplesPerBlock; i++ {
+		ts++
+		s.Append(pk(int32(i), ts))
+		s.ExpireExact(ts-int32(10*tuple.TuplesPerBlock), nil)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts++
+		s.Append(pk(7, ts))
+		s.ExpireExact(ts-int32(10*tuple.TuplesPerBlock), nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state append/expire allocates %v per op", allocs)
 	}
 }
 

@@ -43,6 +43,38 @@ const (
 	ProberScan = join.ModeScan
 )
 
+// Pair is one materialized join output (probing tuple plus the stored
+// window tuple it matched).
+type Pair = join.Pair
+
+// Sink is a pluggable consumer for materialized pairs, set through
+// Config.Sink. Emit receives ownership of a pooled buffer and hands one
+// back for recycling by returning it; see the join.Sink contract. With
+// Config.Workers > 1 the sink is called concurrently from every join
+// worker and must be safe for concurrent use.
+type Sink = join.Sink
+
+// SinkFunc adapts a synchronous callback to a Sink; the callback must not
+// retain the slice.
+type SinkFunc = join.SinkFunc
+
+// DiscardSink materializes-then-drops every pair (the emission-cost
+// baseline with free delivery).
+type DiscardSink = join.DiscardSink
+
+// ChanSink forwards pair batches to a consumer goroutine with backpressure;
+// Emitted is its delivery unit. Consumers return exhausted buffers with
+// Done to keep the join workers allocation-free. The producer side owns
+// closing C: close it only after RunLive/ServeSlaveTCP has returned, so a
+// `for e := range sink.C` consumer drains and exits cleanly.
+type (
+	ChanSink = join.ChanSink
+	Emitted  = join.Emitted
+)
+
+// NewChanSink returns a ChanSink whose delivery channel buffers buf rounds.
+func NewChanSink(buf int) *ChanSink { return join.NewChanSink(buf) }
+
 // Config holds every knob of the system; see DefaultConfig for the paper's
 // Table I defaults.
 type Config = core.Config
@@ -97,6 +129,10 @@ const (
 
 // Figures lists the generators for Figures 5-14 of the paper.
 func Figures() []FigureGenerator { return experiment.All() }
+
+// LiveFigures lists the live-engine figure generators (wall-clock runs;
+// currently the per-prober delay-histogram ablation, "live-hist").
+func LiveFigures() []FigureGenerator { return experiment.LiveAll() }
 
 // FigureByID returns a single figure generator ("fig5" .. "fig14").
 func FigureByID(id string) (FigureGenerator, bool) { return experiment.ByID(id) }
