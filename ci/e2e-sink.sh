@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end socket-sink check: a full TCP cluster — master, two slaves, and
+# the sjoin-collect downstream consumer — over loopback, with the race
+# detector on. Every slave dials the consumer directly (-sink tcp:...) and
+# ships its materialized join pairs as wire PairBatch frames; the check
+# asserts the consumer's pair total equals the master's result summary
+# exactly (the per-group counts in collect.json sum to the same figure).
+#
+# Usage: ci/e2e-sink.sh            (race detector on; RACE= to disable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RACE="${RACE---race}"
+WORK="$(mktemp -d)"
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build ${RACE:+"$RACE"} -o "$WORK" ./cmd/sjoin-master ./cmd/sjoin-slave ./cmd/sjoin-collect
+
+CTL=127.0.0.1:7400
+RES=127.0.0.1:7401
+SINK=127.0.0.1:7402
+MESH=127.0.0.1:7410,127.0.0.1:7411
+FLAGS=(-slaves 2 -rate 600 -window 3s -td 250ms -tr 2500ms
+       -duration 6s -warmup 1s -theta 32768 -domain 20000 -workers 2)
+
+"$WORK/sjoin-collect" -listen "$SINK" -conns 2 -json "$WORK/collect.json" &
+COLLECT=$!
+"$WORK/sjoin-master" "${FLAGS[@]}" -ctl "$CTL" -results "$RES" >"$WORK/master.out" &
+MASTER=$!
+sleep 0.5
+"$WORK/sjoin-slave" "${FLAGS[@]}" -id 0 -ctl "$CTL" -results "$RES" -mesh "$MESH" -sink "tcp:$SINK" &
+SLAVE0=$!
+"$WORK/sjoin-slave" "${FLAGS[@]}" -id 1 -ctl "$CTL" -results "$RES" -mesh "$MESH" -sink "tcp:$SINK" &
+SLAVE1=$!
+
+wait "$MASTER"
+wait "$SLAVE0"
+wait "$SLAVE1"
+wait "$COLLECT"
+
+cat "$WORK/master.out"
+outputs=$(awk '/^outputs:/{print $2}' "$WORK/master.out")
+pairs=$(sed -n 's/^  "pairs": \([0-9][0-9]*\),$/\1/p' "$WORK/collect.json")
+group_sum=$(sed -n '/"groups"/,/}/s/[^:]*: \([0-9][0-9]*\),\{0,1\}$/\1/p' "$WORK/collect.json" |
+  awk '{s+=$1} END {print s+0}')
+echo "e2e-sink: master outputs=$outputs collect pairs=$pairs per-group sum=$group_sum"
+
+test -n "$outputs"
+test "$outputs" -gt 0
+test "$outputs" = "$pairs"
+test "$outputs" = "$group_sum"
+echo "e2e-sink: OK"

@@ -1,108 +1,37 @@
 // Command sjoin-benchjson converts `go test -bench` output into a JSON
 // summary so the perf trajectory of the hot paths is machine-readable
-// across PRs. CI pipes the bench-smoke output through it and uploads the
-// result as BENCH_PR4.json.
+// across PRs. CI pipes the bench-smoke output through it, uploads the
+// result as a BENCH_PR*.json artifact, and gates allocation regressions
+// against a checked-in baseline.
 //
 //	go test -bench 'LiveProber|WorkerScaling|RoundAllocs' -benchmem -benchtime 1x -run '^$' ./... \
-//	    | sjoin-benchjson -o BENCH_PR4.json
+//	    | sjoin-benchjson -o BENCH_PR5.json -gate ci/alloc-baseline.json
 //
-// Every benchmark line becomes one record carrying the benchmark name (GOMAXPROCS
-// suffix stripped), the iteration count, and every reported metric —
-// ns/op, B/op, allocs/op, and custom b.ReportMetric units like tuples/sec —
-// keyed by unit.
+// Every benchmark line becomes one record carrying the benchmark name
+// (GOMAXPROCS suffix stripped), the iteration count, and every reported
+// metric — ns/op, B/op, allocs/op, and custom b.ReportMetric units like
+// tuples/sec — keyed by unit (see internal/benchfmt).
+//
+// With -gate FILE, the parsed allocs/op figures are checked against the
+// baseline JSON (benchmark name → maximum allocs/op); any benchmark
+// allocating over its ceiling, missing from the output, or run without
+// -benchmem fails the command with exit status 1. Allocations are
+// deterministic, unlike ns/op, so this is safe to enforce in CI.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"streamjoin/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Summary is the emitted document.
-type Summary struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []Result          `json:"benchmarks"`
-}
-
-// parse reads `go test -bench` output: context lines ("goos: linux"),
-// benchmark lines ("BenchmarkX-8  20  123 ns/op  4 B/op  ..."), and
-// everything else (PASS, ok, test logs), which it ignores.
-func parse(r io.Reader) (*Summary, error) {
-	sum := &Summary{Context: map[string]string{}}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
-			strings.HasPrefix(line, "cpu:"), strings.HasPrefix(line, "pkg:"):
-			k, v, _ := strings.Cut(line, ":")
-			// Benchmarks from several packages may share one stream; keep
-			// the first package name and every other context key verbatim.
-			if _, seen := sum.Context[k]; !seen {
-				sum.Context[k] = strings.TrimSpace(v)
-			}
-		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseBenchLine(line)
-			if ok {
-				sum.Benchmarks = append(sum.Benchmarks, res)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return sum, nil
-}
-
-// parseBenchLine parses one benchmark result line into a Result. Lines that
-// merely name a benchmark without results (e.g. verbose "BenchmarkX" run
-// headers) report ok=false.
-func parseBenchLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	name := fields[0]
-	// Strip the -GOMAXPROCS suffix ("BenchmarkFoo/sub-8" -> "BenchmarkFoo/sub").
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
-	// The rest alternates value/unit pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		res.Metrics[fields[i+1]] = v
-	}
-	if len(res.Metrics) == 0 {
-		return Result{}, false
-	}
-	return res, true
-}
-
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output file (\"-\" for stdout)")
+	out := flag.String("o", "-", "output file (\"-\" for stdout)")
+	gate := flag.String("gate", "", "alloc-regression baseline JSON (benchmark name → max allocs/op); violations exit 1")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -117,7 +46,7 @@ func main() {
 		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
 	}
 
-	sum, err := parse(in)
+	sum, err := benchfmt.Parse(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,12 +60,31 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sjoin-benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+	}
+
+	if *gate == "" {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	raw, err := os.ReadFile(*gate)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sjoin-benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", *gate, err))
+	}
+	if errs := benchfmt.Gate(sum, baseline); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "sjoin-benchjson:", err)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sjoin-benchjson: alloc gate passed (%d benchmarks within baseline)\n", len(baseline))
 }
 
 func fatal(err error) {

@@ -1,0 +1,155 @@
+// Command sjoin-benchsweep drives the live engine across a rate × workers
+// grid at Table-I workload parameters (skew 0.7, domain 10M, θ = 1.5 MB;
+// window and epochs shrunk to wall-clock-friendly defaults) and emits the
+// same machine-readable JSON as sjoin-benchjson — one record per grid cell
+// named LiveSweep/rate=R/workers=W. CI uploads the result as
+// BENCH_PR5.json, so the perf record carries regression *curves* (how
+// throughput and delay respond to load and parallelism) rather than the
+// single spot values of the bench-smoke job.
+//
+//	sjoin-benchsweep -rates 750,1500,3000 -workers 1,2,4 -o BENCH_PR5.json
+//
+// Every cell is a full live run — master, slaves, collector on goroutines,
+// real join modules — so a regression anywhere in the pipeline bends the
+// curves. Durations are wall-clock: the default grid takes about
+// rates×workers×(-duration) to run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamjoin"
+	"streamjoin/internal/benchfmt"
+)
+
+func main() {
+	rates := flag.String("rates", "750,1500,3000", "comma-separated per-stream arrival rates (tuples/sec)")
+	workers := flag.String("workers", "1,2,4", "comma-separated join-worker counts per slave")
+	slaves := flag.Int("slaves", 2, "slave nodes per run")
+	window := flag.Duration("window", 5*time.Second, "sliding window W")
+	domain := flag.Int("domain", 100_000, "join-attribute domain (shrunk with the window so the match rate stays Table-I-like)")
+	td := flag.Duration("td", 500*time.Millisecond, "distribution epoch")
+	duration := flag.Duration("duration", 8*time.Second, "wall-clock run length per grid cell")
+	warmup := flag.Duration("warmup", 3*time.Second, "warm-up discarded from metrics")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	out := flag.String("o", "BENCH_PR5.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	rateVals, err := parseFloats(*rates)
+	if err != nil {
+		fatal(fmt.Errorf("-rates: %w", err))
+	}
+	workerVals, err := parseInts(*workers)
+	if err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+
+	sum := &benchfmt.Summary{Context: map[string]string{
+		"driver":   "sjoin-benchsweep",
+		"goos":     runtime.GOOS,
+		"goarch":   runtime.GOARCH,
+		"cpus":     strconv.Itoa(runtime.NumCPU()),
+		"slaves":   strconv.Itoa(*slaves),
+		"domain":   strconv.Itoa(*domain),
+		"window":   window.String(),
+		"td":       td.String(),
+		"duration": duration.String(),
+		"warmup":   warmup.String(),
+	}}
+	for _, rate := range rateVals {
+		for _, w := range workerVals {
+			res, err := runCell(*slaves, rate, w, int32(*domain), *window, *td, *duration, *warmup, *seed)
+			if err != nil {
+				fatal(fmt.Errorf("rate=%g workers=%d: %w", rate, w, err))
+			}
+			sum.Benchmarks = append(sum.Benchmarks, res)
+			fmt.Fprintf(os.Stderr, "sjoin-benchsweep: %s: %.0f outputs/sec, delay %.1f ms\n",
+				res.Name, res.Metrics["outputs/sec"], res.Metrics["delay-ms"])
+		}
+	}
+
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sjoin-benchsweep: wrote %d grid cells to %s\n", len(sum.Benchmarks), *out)
+}
+
+// runCell executes one live run of the grid and folds it into a benchmark
+// record. The workload knobs stay at the Table-I defaults (skew, domain,
+// θ, fine tuning); only the swept axes and the wall-clock scale move.
+func runCell(slaves int, rate float64, workers int, domain int32, window, td, duration, warmup time.Duration, seed uint64) (benchfmt.Result, error) {
+	cfg := streamjoin.DefaultConfig()
+	cfg.Slaves = slaves
+	cfg.Rate = rate
+	cfg.Workers = workers
+	cfg.Domain = domain
+	cfg.Seed = seed
+	cfg.WindowMs = int32(window / time.Millisecond)
+	cfg.DistEpochMs = int32(td / time.Millisecond)
+	cfg.ReorgEpochMs = 5 * cfg.DistEpochMs
+	cfg.DurationMs = int32(duration / time.Millisecond)
+	cfg.WarmupMs = int32(warmup / time.Millisecond)
+
+	res, err := streamjoin.RunLive(cfg)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	measuredSec := (duration - warmup).Seconds()
+	r := benchfmt.Result{
+		Name:       fmt.Sprintf("LiveSweep/rate=%g/workers=%d", rate, workers),
+		Iterations: 1,
+		Metrics: map[string]float64{
+			"outputs":     float64(res.Outputs),
+			"outputs/sec": float64(res.Outputs) / measuredSec,
+			"delay-ms":    float64(res.MeanDelay()) / float64(time.Millisecond),
+			"cpu-sec":     res.AvgSlaveCPU().Seconds(),
+			"comm-sec":    res.AggregateComm().Seconds(),
+		},
+	}
+	return r, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sjoin-benchsweep:", err)
+	os.Exit(1)
+}

@@ -4,8 +4,10 @@
 // state movement). Each slave process drives -workers join workers (one per
 // CPU core by default), each owning a disjoint subset of the slave's
 // partition-groups. -sink selects what happens to materialized join pairs:
-// "discard" (materialize then drop, the default) or "count" (skip
-// materialization, counts unchanged).
+// "discard" (materialize then drop, the default), "count" (skip
+// materialization, counts unchanged), or "tcp:HOST:PORT" (dial the
+// downstream consumer at that address — e.g. sjoin-collect — and stream
+// the pairs; a slow consumer backpressures the join workers).
 //
 //	sjoin-slave -id 0 -ctl localhost:7400 -results localhost:7401 \
 //	    -mesh localhost:7410,localhost:7411 -slaves 2 -window 5s -td 250ms ...

@@ -1,0 +1,143 @@
+// Package benchfmt defines the machine-readable benchmark summary behind
+// the perf artifacts (BENCH_PR*.json) and the operations CI performs on it:
+// cmd/sjoin-benchjson converts `go test -bench` output into it,
+// cmd/sjoin-benchsweep emits it directly from live rate×workers sweeps, and
+// Gate checks allocs/op figures against a checked-in baseline so an
+// allocation regression fails the build (allocations are deterministic,
+// unlike ns/op, which makes them the one benchmark metric CI can gate on).
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement: the benchmark name (GOMAXPROCS
+// suffix stripped), the iteration count, and every reported metric —
+// ns/op, B/op, allocs/op, and custom b.ReportMetric units — keyed by unit.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// Find returns the first benchmark with the given name, or nil.
+func (s *Summary) Find(name string) *Result {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Parse reads `go test -bench` output: context lines ("goos: linux"),
+// benchmark lines ("BenchmarkX-8  20  123 ns/op  4 B/op  ..."), and
+// everything else (PASS, ok, test logs), which it ignores.
+func Parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"), strings.HasPrefix(line, "pkg:"):
+			k, v, _ := strings.Cut(line, ":")
+			// Benchmarks from several packages may share one stream; keep
+			// the first package name and every other context key verbatim.
+			if _, seen := sum.Context[k]; !seen {
+				sum.Context[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				sum.Benchmarks = append(sum.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// parseBenchLine parses one benchmark result line into a Result. Lines that
+// merely name a benchmark without results (e.g. verbose "BenchmarkX" run
+// headers) report ok=false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix ("BenchmarkFoo/sub-8" -> "BenchmarkFoo/sub").
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The rest alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// AllocsMetric is the metric unit the gate checks.
+const AllocsMetric = "allocs/op"
+
+// Gate checks the summary's allocs/op figures against a baseline mapping
+// benchmark name → maximum allowed allocs/op. Every violation — a baseline
+// benchmark missing from the summary, a benchmark that reported no
+// allocs/op (run without -benchmem), or one allocating over its ceiling —
+// becomes one error; an empty slice means the gate passes. Baseline entries
+// are checked in name order so CI output is stable.
+func Gate(s *Summary, baseline map[string]float64) []error {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		max := baseline[name]
+		b := s.Find(name)
+		if b == nil {
+			errs = append(errs, fmt.Errorf("benchfmt: gate: %s missing from bench output", name))
+			continue
+		}
+		got, ok := b.Metrics[AllocsMetric]
+		if !ok {
+			errs = append(errs, fmt.Errorf("benchfmt: gate: %s reported no %s (run with -benchmem)", name, AllocsMetric))
+			continue
+		}
+		if got > max {
+			errs = append(errs, fmt.Errorf("benchfmt: gate: %s allocated %g %s, baseline allows %g",
+				name, got, AllocsMetric, max))
+		}
+	}
+	return errs
+}

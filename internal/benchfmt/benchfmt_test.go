@@ -1,0 +1,113 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: streamjoin
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLiveProberHash 	      20	   1202478 ns/op	        11.60 outputs/epoch	   4985374 tuples/sec	    3018 B/op	       6 allocs/op
+BenchmarkRoundAllocs/hash-8         	      20	   1174299 ns/op	     128 B/op	       0 allocs/op
+PASS
+ok  	streamjoin	6.401s
+pkg: streamjoin/internal/core
+BenchmarkWorkerScaling/W=4-8 	       3	 400000 ns/op
+ok  	streamjoin/internal/core	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	sum, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sum.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", got)
+	}
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkLiveProberHash" || b.Iterations != 20 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 1202478, "B/op": 3018, "allocs/op": 6,
+		"outputs/epoch": 11.60, "tuples/sec": 4985374,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	// Sub-benchmark names keep the subtest path but lose the -P suffix.
+	if sum.Benchmarks[1].Name != "BenchmarkRoundAllocs/hash" {
+		t.Fatalf("sub-benchmark name = %q", sum.Benchmarks[1].Name)
+	}
+	if sum.Benchmarks[2].Name != "BenchmarkWorkerScaling/W=4" {
+		t.Fatalf("core benchmark name = %q", sum.Benchmarks[2].Name)
+	}
+	if sum.Context["goos"] != "linux" || sum.Context["pkg"] != "streamjoin" {
+		t.Fatalf("context = %v", sum.Context)
+	}
+	if sum.Find("BenchmarkRoundAllocs/hash") == nil || sum.Find("BenchmarkMissing") != nil {
+		t.Fatal("Find misbehaved")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	sum, err := Parse(strings.NewReader("PASS\nok x 1s\nBenchmarkBroken\nBenchmarkAlso 12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as %d benchmarks", len(sum.Benchmarks))
+	}
+}
+
+// TestGate covers the alloc-regression gate: a summary within baseline
+// passes; an injected regression, a missing benchmark, and a benchmark run
+// without -benchmem each fail with a specific error.
+func TestGate(t *testing.T) {
+	sum, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Within baseline: exact ceilings pass.
+	if errs := Gate(sum, map[string]float64{
+		"BenchmarkLiveProberHash":   6,
+		"BenchmarkRoundAllocs/hash": 0,
+	}); len(errs) != 0 {
+		t.Fatalf("clean gate reported %v", errs)
+	}
+
+	// Injected regression: the hash prober "now" allocates 8 > 6.
+	reg := *sum.Find("BenchmarkLiveProberHash")
+	reg.Metrics = map[string]float64{"allocs/op": 8}
+	regressed := &Summary{Benchmarks: []Result{reg, *sum.Find("BenchmarkRoundAllocs/hash")}}
+	errs := Gate(regressed, map[string]float64{
+		"BenchmarkLiveProberHash":   6,
+		"BenchmarkRoundAllocs/hash": 0,
+	})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "allocated 8") {
+		t.Fatalf("injected regression not caught: %v", errs)
+	}
+
+	// RoundAllocs > 0 is a violation of the zero-alloc contract.
+	zero := *sum.Find("BenchmarkRoundAllocs/hash")
+	zero.Metrics = map[string]float64{"allocs/op": 1}
+	errs = Gate(&Summary{Benchmarks: []Result{zero}}, map[string]float64{"BenchmarkRoundAllocs/hash": 0})
+	if len(errs) != 1 {
+		t.Fatalf("nonzero RoundAllocs not caught: %v", errs)
+	}
+
+	// Missing benchmark and missing -benchmem both fail, in name order.
+	errs = Gate(sum, map[string]float64{
+		"BenchmarkGone":              0,
+		"BenchmarkWorkerScaling/W=4": 0, // parsed, but no allocs/op metric
+	})
+	if len(errs) != 2 ||
+		!strings.Contains(errs[0].Error(), "missing from bench output") ||
+		!strings.Contains(errs[1].Error(), "-benchmem") {
+		t.Fatalf("gate errors = %v", errs)
+	}
+}

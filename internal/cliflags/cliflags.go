@@ -6,11 +6,36 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"net"
+	"strings"
 	"time"
 
 	"streamjoin/internal/core"
 	"streamjoin/internal/join"
 )
+
+// sinkModes names every valid -sink value; unknown values are rejected with
+// an error listing them rather than silently falling back to the default.
+const sinkModes = `"discard", "count", or "tcp:HOST:PORT"`
+
+// parseSink parses the -sink flag value into the (CountOnly, SinkAddr)
+// configuration pair.
+func parseSink(v string) (countOnly bool, sinkAddr string, err error) {
+	switch {
+	case v == "discard":
+		return false, "", nil
+	case v == "count":
+		return true, "", nil
+	case strings.HasPrefix(v, "tcp:"):
+		addr := strings.TrimPrefix(v, "tcp:")
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return false, "", fmt.Errorf("sink address %q: %v (want tcp:HOST:PORT)", addr, err)
+		}
+		return false, addr, nil
+	default:
+		return false, "", fmt.Errorf("unknown sink %q (valid modes: %s)", v, sinkModes)
+	}
+}
 
 // Bind registers flags for every user-facing Config field onto fs and
 // returns a function that materializes the Config after fs.Parse.
@@ -55,18 +80,12 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 			}
 			return nil
 		})
-	countOnly := def.CountOnly
-	fs.Func("sink", `materialized-pair sink: "discard" (materialize each output pair, then drop it; default) or "count" (count-only: skip pair materialization entirely)`,
+	countOnly, sinkAddr := def.CountOnly, def.SinkAddr
+	fs.Func("sink", `materialized-pair sink: "discard" (materialize each output pair, then drop it; default), "count" (count-only: skip pair materialization entirely), or "tcp:HOST:PORT" (each slave dials the downstream consumer at HOST:PORT and streams its pairs; see sjoin-collect)`,
 		func(v string) error {
-			switch v {
-			case "discard":
-				countOnly = false
-			case "count":
-				countOnly = true
-			default:
-				return fmt.Errorf("unknown sink %q (want discard or count)", v)
-			}
-			return nil
+			var err error
+			countOnly, sinkAddr, err = parseSink(v)
+			return err
 		})
 	return func() core.Config {
 		cfg := core.DefaultConfig()
@@ -93,6 +112,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.WarmupMs = int32(*warmup / time.Millisecond)
 		cfg.LiveProber = prober
 		cfg.CountOnly = countOnly
+		cfg.SinkAddr = sinkAddr
 		cfg.WireBatchBytes = *wbatch
 		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
 		cfg.Workers = *workers

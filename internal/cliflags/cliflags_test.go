@@ -2,6 +2,7 @@ package cliflags
 
 import (
 	"flag"
+	"strings"
 	"testing"
 
 	"streamjoin/internal/core"
@@ -56,25 +57,57 @@ func TestFlagOverrides(t *testing.T) {
 func TestSinkFlag(t *testing.T) {
 	parse := func(args ...string) (core.Config, error) {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(discard{})
 		get := Bind(fs)
 		if err := fs.Parse(args); err != nil {
 			return core.Config{}, err
 		}
 		return get(), nil
 	}
-	if cfg, err := parse(); err != nil || cfg.CountOnly {
-		t.Fatalf("default sink should materialize (err %v, countOnly %v)", err, cfg.CountOnly)
-	}
-	if cfg, err := parse("-sink", "count"); err != nil || !cfg.CountOnly {
-		t.Fatalf("-sink count: err %v, countOnly %v", err, cfg.CountOnly)
-	}
-	if cfg, err := parse("-sink", "discard"); err != nil || cfg.CountOnly {
-		t.Fatalf("-sink discard: err %v, countOnly %v", err, cfg.CountOnly)
-	}
-	if _, err := parse("-sink", "kafka"); err == nil {
-		t.Fatal("unknown sink should fail to parse")
+	for _, tc := range []struct {
+		name      string
+		args      []string
+		countOnly bool
+		sinkAddr  string
+		wantErr   string // substring of the parse error ("" = success)
+	}{
+		{name: "default materializes", args: nil},
+		{name: "count", args: []string{"-sink", "count"}, countOnly: true},
+		{name: "discard", args: []string{"-sink", "discard"}},
+		{name: "tcp", args: []string{"-sink", "tcp:localhost:7402"}, sinkAddr: "localhost:7402"},
+		{name: "tcp ip", args: []string{"-sink", "tcp:10.0.0.3:9999"}, sinkAddr: "10.0.0.3:9999"},
+		{name: "tcp missing port", args: []string{"-sink", "tcp:localhost"}, wantErr: "tcp:HOST:PORT"},
+		{name: "tcp empty", args: []string{"-sink", "tcp:"}, wantErr: "tcp:HOST:PORT"},
+		// Unknown modes fail listing the valid ones — no silent fallback.
+		{name: "unknown", args: []string{"-sink", "kafka"}, wantErr: `valid modes: "discard", "count", or "tcp:HOST:PORT"`},
+		{name: "empty", args: []string{"-sink", ""}, wantErr: "valid modes"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parse(tc.args...)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.CountOnly != tc.countOnly || cfg.SinkAddr != tc.sinkAddr {
+				t.Fatalf("countOnly=%v sinkAddr=%q, want %v/%q",
+					cfg.CountOnly, cfg.SinkAddr, tc.countOnly, tc.sinkAddr)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
+
+// discard silences flag-package usage output during error-path tests.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 func TestProberFlag(t *testing.T) {
 	parse := func(args ...string) (core.Config, error) {

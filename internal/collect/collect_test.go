@@ -1,0 +1,90 @@
+package collect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+func pb(slave, group int32, n int) *wire.PairBatch {
+	out := &wire.PairBatch{Slave: slave, Group: group, Pairs: make([]wire.OutPair, n)}
+	for i := range out.Pairs {
+		out.Pairs[i] = wire.OutPair{
+			Probe:  tuple.Tuple{Stream: tuple.S1, Key: int32(i), TS: int32(i)},
+			Stored: tuple.Packed{Key: int32(i), TS: int32(i) - 1},
+		}
+	}
+	return out
+}
+
+func frames(t *testing.T, msgs ...wire.Message) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf, 0)
+	for _, m := range msgs {
+		if err := fw.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestTallyConsume(t *testing.T) {
+	var seen int
+	tally := New(func(*wire.PairBatch) { seen++ })
+	if err := tally.Consume(frames(t,
+		pb(0, 3, 5), pb(0, 4, 2), pb(1, 3, 1), pb(1, 7, 0),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.Pairs(); got != 8 {
+		t.Fatalf("pairs = %d, want 8", got)
+	}
+	if seen != 4 {
+		t.Fatalf("onBatch saw %d batches, want 4", seen)
+	}
+	per := tally.PerGroup()
+	if per[3] != 6 || per[4] != 2 || per[7] != 0 {
+		t.Fatalf("per-group = %v", per)
+	}
+	sum := tally.Snapshot(2 * time.Second)
+	if sum.Pairs != 8 || sum.Batches != 4 || sum.PairsPerSec != 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Groups["3"] != 6 || sum.Slaves["0"] != 7 || sum.Slaves["1"] != 1 {
+		t.Fatalf("summary maps = %+v", sum)
+	}
+	if sum.Bytes == 0 {
+		t.Fatal("no physical bytes accounted")
+	}
+	if line := sum.GroupLine(); line != "g3=6 g4=2 g7=0" {
+		t.Fatalf("group line = %q", line)
+	}
+}
+
+func TestTallyRejectsForeignMessages(t *testing.T) {
+	tally := New(nil)
+	err := tally.Consume(frames(t, pb(0, 1, 2), &wire.Hello{Slave: 1}))
+	if err == nil || !strings.Contains(err.Error(), "Hello") {
+		t.Fatalf("foreign message not rejected: %v", err)
+	}
+	// The batch before the protocol error still counted.
+	if tally.Pairs() != 2 {
+		t.Fatalf("pairs = %d, want 2", tally.Pairs())
+	}
+}
+
+func TestTallyTruncatedStream(t *testing.T) {
+	buf := frames(t, pb(0, 1, 100)).Bytes()
+	tally := New(nil)
+	if err := tally.Consume(bytes.NewReader(buf[:len(buf)/2])); err == nil {
+		t.Fatal("truncated stream not reported")
+	}
+}

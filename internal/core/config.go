@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
@@ -159,6 +160,15 @@ type Config struct {
 	// but no join.Pair is ever formed ("-sink count"). Mutually exclusive
 	// with Sink.
 	CountOnly bool
+	// SinkAddr, when non-empty, ships every materialized pair to an
+	// external downstream consumer at this HOST:PORT ("-sink tcp:..."):
+	// each live slave dials the consumer directly and streams
+	// wire.PairBatch messages through an engine.SocketSink, whose bounded
+	// in-flight queue backpressures the join workers when the consumer
+	// falls behind (see cmd/sjoin-collect for the reference consumer).
+	// Join output never funnels through the master. Mutually exclusive
+	// with Sink and CountOnly; ignored by the simulation.
+	SinkAddr string
 
 	// Workers is the number of join workers a live slave process hosts:
 	// each worker owns the disjoint subset of the slave's partition-groups
@@ -268,6 +278,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: WireFlushMs = %d", c.WireFlushMs)
 	case c.CountOnly && c.Sink != nil:
 		return fmt.Errorf("core: CountOnly skips materialization, so Sink would never fire")
+	case c.SinkAddr != "" && c.CountOnly:
+		return fmt.Errorf("core: CountOnly skips materialization, so SinkAddr would receive nothing")
+	case c.SinkAddr != "" && c.Sink != nil:
+		return fmt.Errorf("core: Sink and SinkAddr are mutually exclusive")
 	case c.Workers < 0:
 		return fmt.Errorf("core: Workers = %d, want >= 0 (0 = one per core)", c.Workers)
 	case c.Beta <= 0 || c.Beta >= 1:
@@ -278,6 +292,11 @@ func (c *Config) Validate() error {
 	case len(c.SlaveMemBytes) > c.Slaves:
 		return fmt.Errorf("core: %d memory bounds for %d slaves",
 			len(c.SlaveMemBytes), c.Slaves)
+	}
+	if c.SinkAddr != "" {
+		if _, _, err := net.SplitHostPort(c.SinkAddr); err != nil {
+			return fmt.Errorf("core: SinkAddr: %w", err)
+		}
 	}
 	for i, m := range c.SlaveMemBytes {
 		if m < 0 {

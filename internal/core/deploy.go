@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -84,13 +85,20 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 	}()
 
 	// Result connections: one reader goroutine per slave feeds the inbox.
+	// The readers are waited on at shutdown (each ends when its slave
+	// closes the connection), so every result batch a slave ever flushed is
+	// folded into the collector before the final snapshot — the run's
+	// Outputs is exact, not a race against in-flight frames.
 	async := engine.NewLiveAsyncSender(collP, inbox)
+	var resReaders sync.WaitGroup
 	for n := 0; n < cfg.Slaves; n++ {
 		c, err := resLn.Accept()
 		if err != nil {
 			return nil, err
 		}
+		resReaders.Add(1)
 		go func(c net.Conn) {
+			defer resReaders.Done()
 			defer c.Close()
 			defer func() { recover() }() // connection teardown at shutdown
 			// Reads are layout-agnostic: one Recv per message whether the
@@ -139,6 +147,12 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 	case <-time.After(time.Duration(cfg.DurationMs)*time.Millisecond + 30*time.Second):
 		return nil, fmt.Errorf("core: TCP cluster did not shut down")
 	}
+	readersDone := make(chan struct{})
+	go func() { resReaders.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-time.After(10 * time.Second): // a wedged slave must not hang the run
+	}
 	collStop.Store(true)
 	<-collDone
 
@@ -168,7 +182,9 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 // ServeSlaveTCP runs slave `id`: dial the master at ctlAddr and resAddr,
 // listen on meshAddrs[id] for higher-numbered peers and dial lower-numbered
 // ones, then run the slave loop until the master shuts it down.
-func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []string) error {
+func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []string) (err error) {
+	// The result is named so the deferred recover/sink-close handler below
+	// can actually surface its failure to the caller.
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -237,6 +253,17 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
 	}
 
+	// Downstream pair sink: dial the external consumer directly ("-sink
+	// tcp:HOST:PORT"); the SocketSink itself is created after the clock
+	// re-anchor below so its stats land on the run's process.
+	var sinkConn net.Conn
+	if cfg.SinkAddr != "" {
+		sinkConn, err = dialRetry(cfg.SinkAddr)
+		if err != nil {
+			return fmt.Errorf("core: slave %d pair sink: %w", id, err)
+		}
+	}
+
 	// Wait for the master's start batch; it defines epoch zero. Re-anchor
 	// the environment clock so slot arithmetic matches the master's.
 	start, ok := master.Recv().(*wire.Batch)
@@ -262,11 +289,24 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 	coll.conn = rebind(coll.conn)
 	coll.now = proc2.Now
 
+	var sink *engine.SocketSink
+	if sinkConn != nil {
+		sink = engine.NewSocketSink(proc2, sinkConn, int32(id), 0)
+		cfg.Sink = sink
+	}
+
 	s := newSlave(&cfg, int32(id), proc2, master, peers, coll,
 		engine.NewLiveRunner(proc2, cfg.LiveWorkers()))
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: slave %d failed: %v", id, r)
+		}
+		if sink != nil {
+			// The slave loop has returned (or died), so no worker can
+			// still Emit; flush the sink and surface a delivery failure.
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("core: slave %d pair sink: %w", id, cerr)
+			}
 		}
 	}()
 	s.run()

@@ -107,9 +107,49 @@ func RunLive(cfg Config) (*Result, error) {
 	ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
 	master := newMaster(&cfg, masterP, mConns, ingest, masterStop.Load)
 	collector := newCollector(collP, inbox, collStop.Load)
+
+	// Downstream pair sink: every slave dials the consumer directly, so
+	// join output never funnels through the master. Each slave gets its own
+	// Config copy carrying its SocketSink (the shared cfg stays sink-free).
+	sinks := make([]*engine.SocketSink, cfg.Slaves)
+	closeSinks := func() error {
+		var err error
+		for i, s := range sinks {
+			if s == nil {
+				continue
+			}
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("core: slave %d pair sink: %w", i, cerr)
+			}
+			sinks[i] = nil
+		}
+		return err
+	}
+	// Registered before the dialing loop so a dial failure for a later
+	// slave does not leak the sinks already created; error paths further
+	// down may also leave slaves running, and their sinks are closed here
+	// on the way out regardless. The success path closes explicitly below
+	// so a delivery failure surfaces.
+	defer func() { _ = closeSinks() }()
+	slaveCfg := make([]*Config, cfg.Slaves)
+	for i := range slaveCfg {
+		slaveCfg[i] = &cfg
+		if cfg.SinkAddr == "" {
+			continue
+		}
+		sc, err := dialRetry(cfg.SinkAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: slave %d pair sink: %w", i, err)
+		}
+		sinks[i] = engine.NewSocketSink(slaveP[i], sc, int32(i), 0)
+		own := cfg
+		own.Sink = sinks[i]
+		slaveCfg[i] = &own
+	}
+
 	slaves := make([]*slaveNode, cfg.Slaves)
 	for i := range slaves {
-		slaves[i] = newSlave(&cfg, int32(i), slaveP[i], sConns[i], mesh[i],
+		slaves[i] = newSlave(slaveCfg[i], int32(i), slaveP[i], sConns[i], mesh[i],
 			engine.NewLiveAsyncSender(slaveP[i], inbox),
 			engine.NewLiveRunner(slaveP[i], cfg.inProcessWorkers()))
 	}
@@ -167,6 +207,11 @@ func RunLive(cfg Config) (*Result, error) {
 	}
 	collStop.Store(true)
 	collDone.Wait()
+	// All slaves have returned, so no join worker can still Emit; flush the
+	// downstream sinks and surface any delivery failure.
+	if err := closeSinks(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Config:             cfg,

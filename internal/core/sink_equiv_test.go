@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"streamjoin/internal/collect"
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/wire"
+)
+
+// pairMultiset counts per-group occurrences of each materialized pair
+// (duplicates matter: a key can match the same stored tuple through several
+// probe tuples with identical fields).
+type pairMultiset map[int32]map[join.Pair]int
+
+func (ms pairMultiset) add(g int32, p join.Pair) {
+	m := ms[g]
+	if m == nil {
+		m = make(map[join.Pair]int)
+		ms[g] = m
+	}
+	m[p]++
+}
+
+func (ms pairMultiset) total() int {
+	n := 0
+	for _, m := range ms {
+		for _, c := range m {
+			n += c
+		}
+	}
+	return n
+}
+
+// TestSocketSinkEquivalence is the tentpole acceptance test: the pairs a
+// downstream consumer receives over real TCP (decoded by the same
+// collect.Tally the sjoin-collect binary runs) are identical, as a
+// per-group multiset, to what an in-process SinkFunc sees — under W=4 join
+// workers, a mid-run state transfer, and fine-tuning splits and merges.
+func TestSocketSinkEquivalence(t *testing.T) {
+	cfg := mwConfig()
+	const epochs = 20
+	msgs := mwSchedule(t, &cfg, epochs)
+	// Idle tail epochs: with no input the windows expire out, shrinking the
+	// fine-tuning buckets below θ so buddy merges fire mid-run too.
+	shutdown := msgs[len(msgs)-1]
+	msgs = msgs[:len(msgs)-1]
+	for e := epochs; e < epochs+6; e++ {
+		msgs = append(msgs, &wire.Batch{Epoch: int64(e)})
+	}
+	msgs = append(msgs, shutdown)
+
+	// Run A: in-process SinkFunc (the callback must copy: the buffer is the
+	// module's, recycled as soon as it returns).
+	msA := pairMultiset{}
+	var muA sync.Mutex
+	cfgA := cfg
+	cfgA.Sink = join.SinkFunc(func(g int32, pairs []join.Pair) {
+		muA.Lock()
+		for _, p := range pairs {
+			msA.add(g, p)
+		}
+		muA.Unlock()
+	})
+	outA, _ := runMultiWorker(t, cfgA, msgs, 4)
+
+	// Run B: SocketSink over a real TCP connection into collect.Tally.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	msB := pairMultiset{}
+	tally := collect.New(func(pb *wire.PairBatch) {
+		for _, p := range pb.Pairs {
+			msB.add(pb.Group, join.Pair{Probe: p.Probe, Stored: p.Stored})
+		}
+	})
+	readErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			readErr <- err
+			return
+		}
+		defer c.Close()
+		readErr <- tally.Consume(c)
+	}()
+	sc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := engine.NewSocketSink(nil, sc, 0, 0)
+	cfgB := cfg
+	cfgB.Sink = sink
+	outB, _ := runMultiWorker(t, cfgB, msgs, 4)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The two runs executed identical rounds...
+	for g := int32(0); g < int32(cfg.NumGroups()); g++ {
+		if !reflect.DeepEqual(outA.traces[g], outB.traces[g]) {
+			t.Fatalf("group %d: round traces diverged between SinkFunc and SocketSink runs", g)
+		}
+	}
+	// ...that were not vacuous: real parallelism, a populated mid-run
+	// transfer, and fine tuning in both directions.
+	var splits, merges int
+	for _, trace := range outA.traces {
+		for _, r := range trace {
+			splits += r.Splits
+			merges += r.Merges
+		}
+	}
+	if splits == 0 || merges == 0 {
+		t.Fatalf("vacuous fine tuning: %d splits, %d merges", splits, merges)
+	}
+
+	// The delivered pairs are the same per-group multiset.
+	if msA.total() == 0 || len(msA) < 2 {
+		t.Fatalf("vacuous run: %d pairs over %d groups", msA.total(), len(msA))
+	}
+	if !reflect.DeepEqual(msA, msB) {
+		for g := range msA {
+			if !reflect.DeepEqual(msA[g], msB[g]) {
+				t.Errorf("group %d: %d pairs via SinkFunc, %d via socket",
+					g, len(msA[g]), len(msB[g]))
+			}
+		}
+		t.Fatalf("pair multisets diverged (%d vs %d pairs)", msA.total(), msB.total())
+	}
+	if got := tally.Pairs(); got != int64(msA.total()) {
+		t.Fatalf("tally counted %d pairs, multiset has %d", got, msA.total())
+	}
+	t.Logf("socket sink ≡ SinkFunc: %d pairs over %d groups, %d splits, %d merges",
+		msA.total(), len(msA), splits, merges)
+}
+
+// TestTCPClusterSocketSink runs the full deployment — master, two slaves,
+// and a downstream consumer — over loopback TCP with the slaves dialing the
+// consumer directly (Config.SinkAddr), and asserts the consumer's count
+// matches the master's result summary exactly.
+func TestTCPClusterSocketSink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP test")
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.Slaves = 2
+	cfg.Rate = 600
+	cfg.WindowMs = 3_000
+	cfg.DistEpochMs = 250
+	cfg.ReorgEpochMs = 2_500
+	cfg.DurationMs = 5_000
+	cfg.WarmupMs = 1_000
+	cfg.Theta = 32 << 10
+	cfg.Domain = 20_000
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cfg.SinkAddr = ln.Addr().String()
+
+	tally := collect.New(nil)
+	consumerErr := make(chan error, cfg.Slaves)
+	var consumers sync.WaitGroup
+	for i := 0; i < cfg.Slaves; i++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			c, err := ln.Accept()
+			if err != nil {
+				consumerErr <- err
+				return
+			}
+			defer c.Close()
+			if err := tally.Consume(c); err != nil {
+				consumerErr <- err
+			}
+		}()
+	}
+
+	addrs := freePorts(t, 4)
+	ctl, res := addrs[0], addrs[1]
+	mesh := addrs[2:4]
+	var wg sync.WaitGroup
+	slaveErr := make(chan error, cfg.Slaves)
+	for i := 0; i < cfg.Slaves; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := ServeSlaveTCP(cfg, id, ctl, res, mesh); err != nil {
+				slaveErr <- fmt.Errorf("slave %d: %w", id, err)
+			}
+		}(i)
+	}
+	result, err := ServeMasterTCP(cfg, ctl, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	consumers.Wait()
+	close(slaveErr)
+	close(consumerErr)
+	for err := range slaveErr {
+		t.Error(err)
+	}
+	for err := range consumerErr {
+		t.Error(err)
+	}
+
+	if result.Outputs == 0 {
+		t.Fatal("cluster produced no outputs")
+	}
+	var perGroupSum int64
+	for _, n := range tally.PerGroup() {
+		perGroupSum += n
+	}
+	if tally.Pairs() != result.Outputs || perGroupSum != result.Outputs {
+		t.Fatalf("consumer received %d pairs (%d per-group), master summary says %d",
+			tally.Pairs(), perGroupSum, result.Outputs)
+	}
+	t.Logf("cluster → collect: %d pairs over %d groups",
+		result.Outputs, len(tally.PerGroup()))
+}

@@ -46,6 +46,14 @@ type Stats struct {
 	WireBytesSent  int64
 	WireFramesRecv int64
 	WireBytesRecv  int64
+
+	// Downstream pair-sink counters (SocketSink; zero without one).
+	// SinkStall is the time join workers spent blocked in Emit on the
+	// sink's bounded queue — the backpressure a slow downstream consumer
+	// exerts on the join.
+	SinkPairs int64
+	SinkBytes int64
+	SinkStall time.Duration
 }
 
 // Sub returns s minus t field-by-field (measurement-interval isolation).
@@ -63,6 +71,10 @@ func (s Stats) Sub(t Stats) Stats {
 		WireBytesSent:  s.WireBytesSent - t.WireBytesSent,
 		WireFramesRecv: s.WireFramesRecv - t.WireFramesRecv,
 		WireBytesRecv:  s.WireBytesRecv - t.WireBytesRecv,
+
+		SinkPairs: s.SinkPairs - t.SinkPairs,
+		SinkBytes: s.SinkBytes - t.SinkBytes,
+		SinkStall: s.SinkStall - t.SinkStall,
 	}
 }
 

@@ -105,6 +105,17 @@ func (p *LiveProc) addWire(sentF, sentB, recvF, recvB int64) {
 	p.mu.Unlock()
 }
 
+// addSink folds downstream pair-sink activity into the process stats. The
+// SocketSink's writer goroutine adds pairs/bytes; join workers add stall
+// time from Emit.
+func (p *LiveProc) addSink(pairs, bytes int64, stall time.Duration) {
+	p.mu.Lock()
+	p.stats.SinkPairs += pairs
+	p.stats.SinkBytes += bytes
+	p.stats.SinkStall += stall
+	p.mu.Unlock()
+}
+
 // pipeConn is one end of an in-process rendezvous connection: unbuffered
 // channels give MPI-like blocking semantics.
 type pipeConn struct {

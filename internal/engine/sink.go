@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamjoin/internal/join"
+	"streamjoin/internal/wire"
+)
+
+// SocketSink ships a slave's materialized join pairs to an external TCP
+// consumer as wire.PairBatch messages over the standard batched framing,
+// closing the pipeline the paper leaves at the collector: source → master →
+// slaves → downstream consumer. Each slave dials the consumer directly, so
+// join output never funnels through the master.
+//
+// Concurrency and backpressure: Emit (called by every join worker of the
+// slave, see join.Sink) hands the pair buffer to a single writer goroutine
+// through a bounded in-flight queue. While the queue has room, Emit is a
+// non-blocking channel send; when the consumer falls behind and the queue
+// fills, Emit blocks — the join workers stall instead of the sink dropping
+// output or buffering unboundedly. The stalled time is accounted as
+// Stats.SinkStall on the slave's process.
+//
+// Buffer recycling: the writer returns each encoded buffer through a
+// recycle queue, and Emit hands a recycled buffer back to the emitting
+// module, so the join's zero-allocation steady state survives the sink as
+// long as the queue is keeping up (asserted by TestSocketSinkEmitNoAllocs).
+//
+// Failure: a write error (consumer gone) marks the sink failed; subsequent
+// Emits recycle immediately and count the pairs as dropped rather than
+// deadlocking the slave. Close reports the first error.
+//
+// Termination contract: like ChanSink, the sink cannot know when the run
+// ends. Call Close only after the engine has fully stopped (no join worker
+// can still Emit); Close flushes everything pending, closes the connection,
+// and returns the first write error, if any.
+type SocketSink struct {
+	p     *LiveProc // stats target (nil in tests)
+	slave int32
+
+	conn io.WriteCloser
+	w    *bufio.Writer
+	fw   *wire.FrameWriter
+
+	q        chan sinkBatch
+	recycle  chan []join.Pair
+	failed   chan struct{} // closed on first write error
+	failOnce sync.Once
+	err      atomic.Value // error
+	wg       sync.WaitGroup
+
+	seq atomic.Int64 // emission sequence, stamped into PairBatch.Epoch
+
+	// writer-goroutine state
+	enc       []wire.OutPair // reused encode scratch
+	pb        wire.PairBatch // reused message shell
+	lastBytes int64          // framing bytes already folded into the stats
+
+	pairs   atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+	stall   atomic.Int64 // ns
+}
+
+// sinkBatch is one Emit hand-off in flight to the writer goroutine.
+type sinkBatch struct {
+	group int32
+	epoch int64
+	pairs []join.Pair
+}
+
+// DefaultSinkQueue is the in-flight queue depth when the caller passes 0:
+// deep enough to ride out consumer scheduling hiccups, shallow enough that a
+// stalled consumer backpressures the join within a few rounds.
+const DefaultSinkQueue = 64
+
+// sinkFlushBytes is the FrameWriter auto-flush threshold: pair batches
+// coalesce into shared physical frames until this many encoded bytes are
+// pending (the writer also flushes whenever its queue drains, which bounds
+// delivery latency without a timer).
+const sinkFlushBytes = 32 << 10
+
+// maxPairsPerMsg caps the pairs encoded into one PairBatch message so a
+// single message can never exceed wire.MaxFrameBytes (a giant round is
+// split into several messages sharing the group and epoch stamp).
+const maxPairsPerMsg = 1 << 20
+
+// NewSocketSink returns a running sink over conn for the given slave ID.
+// queue is the bounded in-flight depth (0 = DefaultSinkQueue); p, when
+// non-nil, receives the pairs/bytes/stall accounting.
+func NewSocketSink(p *LiveProc, conn io.WriteCloser, slave int32, queue int) *SocketSink {
+	s := newSocketSink(p, conn, slave, queue)
+	s.wg.Add(1)
+	go s.writer()
+	return s
+}
+
+// newSocketSink builds the sink without starting the writer goroutine
+// (tests pump the queue deterministically via writeNext).
+func newSocketSink(p *LiveProc, conn io.WriteCloser, slave int32, queue int) *SocketSink {
+	if queue <= 0 {
+		queue = DefaultSinkQueue
+	}
+	w := bufio.NewWriterSize(conn, 1<<16)
+	return &SocketSink{
+		p:       p,
+		slave:   slave,
+		conn:    conn,
+		w:       w,
+		fw:      wire.NewFrameWriter(w, sinkFlushBytes),
+		q:       make(chan sinkBatch, queue),
+		recycle: make(chan []join.Pair, queue+1),
+		failed:  make(chan struct{}),
+	}
+}
+
+// Emit implements join.Sink: it transfers ownership of pairs to the writer
+// goroutine and hands back a recycled buffer when one is available. It
+// blocks only when the in-flight queue is full (downstream backpressure).
+// Safe for concurrent use by all of a slave's join workers.
+func (s *SocketSink) Emit(group int32, pairs []join.Pair) []join.Pair {
+	b := sinkBatch{group: group, epoch: s.seq.Add(1), pairs: pairs}
+	select {
+	case s.q <- b: // fast path: queue has room, no stall
+	default:
+		select {
+		case <-s.failed:
+			// Writer is gone; recycle straight back so the join never
+			// deadlocks against a dead consumer.
+			s.dropped.Add(int64(len(pairs)))
+			return pairs
+		default:
+		}
+		t0 := time.Now()
+		select {
+		case s.q <- b:
+		case <-s.failed:
+			s.dropped.Add(int64(len(pairs)))
+			return pairs
+		}
+		d := time.Since(t0)
+		s.stall.Add(d.Nanoseconds())
+		if s.p != nil {
+			s.p.addSink(0, 0, d)
+		}
+	}
+	select {
+	case r := <-s.recycle:
+		return r
+	default:
+		return nil
+	}
+}
+
+// writer is the connection's single writer goroutine: it encodes queued
+// batches, recycles their buffers, and flushes whenever the queue drains.
+func (s *SocketSink) writer() {
+	defer s.wg.Done()
+	for b := range s.q {
+		s.writeBatch(b)
+	}
+}
+
+// writeNext processes one queued batch synchronously (test seam: the alloc
+// and framing tests pump the queue deterministically instead of racing a
+// goroutine). It reports false when the queue is empty.
+func (s *SocketSink) writeNext() bool {
+	select {
+	case b := <-s.q:
+		s.writeBatch(b)
+		return true
+	default:
+		return false
+	}
+}
+
+// writeBatch encodes one batch (unless the sink already failed), recycles
+// its buffer, and flushes if the queue is idle.
+func (s *SocketSink) writeBatch(b sinkBatch) {
+	if s.err.Load() == nil {
+		if err := s.write(b); err != nil {
+			s.fail(err)
+		} else if len(s.q) == 0 {
+			if err := s.flush(); err != nil {
+				s.fail(err)
+			}
+		}
+	} else {
+		s.dropped.Add(int64(len(b.pairs)))
+	}
+	select {
+	case s.recycle <- b.pairs:
+	default: // recycle queue full: leave the buffer to the GC
+	}
+}
+
+// write encodes b as one or more PairBatch messages into the frame writer.
+func (s *SocketSink) write(b sinkBatch) error {
+	for pairs := b.pairs; len(pairs) > 0; {
+		n := len(pairs)
+		if n > maxPairsPerMsg {
+			n = maxPairsPerMsg
+		}
+		s.enc = s.enc[:0]
+		for _, p := range pairs[:n] {
+			s.enc = append(s.enc, wire.OutPair{Probe: p.Probe, Stored: p.Stored})
+		}
+		s.pb = wire.PairBatch{Slave: s.slave, Group: b.group, Epoch: b.epoch, Pairs: s.enc}
+		if err := s.fw.Append(&s.pb); err != nil {
+			return err
+		}
+		pairs = pairs[n:]
+		s.account(int64(n))
+	}
+	return nil
+}
+
+// flush pushes the pending frame and the bufio layer to the connection.
+func (s *SocketSink) flush() error {
+	if err := s.fw.Flush(); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.account(0)
+	return nil
+}
+
+// account folds n freshly encoded pairs plus any new framing bytes into the
+// counters and the process stats (writer goroutine only).
+func (s *SocketSink) account(n int64) {
+	s.pairs.Add(n)
+	_, _, bytes := s.fw.Stats()
+	delta := bytes - s.lastBytes
+	s.lastBytes = bytes
+	s.bytes.Add(delta)
+	if s.p != nil && (n != 0 || delta != 0) {
+		s.p.addSink(n, delta, 0)
+	}
+}
+
+// fail records the first write error and releases every blocked or future
+// Emit.
+func (s *SocketSink) fail(err error) {
+	s.failOnce.Do(func() {
+		s.err.Store(fmt.Errorf("engine: pair sink: %w", err))
+		close(s.failed)
+	})
+}
+
+// Err reports the sink's first write error, if any (nil while healthy).
+func (s *SocketSink) Err() error {
+	if e := s.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Stats reports pairs shipped, physical bytes written (frame headers
+// included), cumulative Emit stall time, and pairs dropped after a failure.
+func (s *SocketSink) Stats() (pairs, bytes int64, stall time.Duration, dropped int64) {
+	return s.pairs.Load(), s.bytes.Load(), time.Duration(s.stall.Load()), s.dropped.Load()
+}
+
+// Close drains and flushes everything pending, closes the connection, and
+// returns the sink's first error. It must only be called after the engine
+// has stopped (no concurrent Emit).
+func (s *SocketSink) Close() error {
+	close(s.q)
+	s.wg.Wait()
+	err := s.Err()
+	if err == nil {
+		err = s.flush()
+	}
+	if cerr := s.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

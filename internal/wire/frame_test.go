@@ -31,6 +31,12 @@ func sampleMessages() []Message {
 			},
 			Pending: []tuple.Tuple{{Stream: tuple.S1, Key: 4, TS: 12}}},
 		&ResultBatch{Slave: 1, Outputs: 10, DelaySumMs: 100, DelayMinMs: 1, DelayMaxMs: 30},
+		&PairBatch{Slave: 1, Group: 2, Epoch: 6, Pairs: []OutPair{
+			{Probe: tuple.Tuple{Stream: tuple.S1, Key: 7, TS: 100},
+				Stored: tuple.Packed{Key: 7, TS: 90}},
+			{Probe: tuple.Tuple{Stream: tuple.S2, Key: 9, TS: 101},
+				Stored: tuple.Packed{Key: 9, TS: 80}},
+		}},
 	}
 }
 

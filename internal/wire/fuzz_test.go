@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"streamjoin/internal/tuple"
 )
 
 // TestUnmarshalNeverPanics feeds random byte slices — including ones that
@@ -19,11 +21,11 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		buf := make([]byte, int(n)%4096)
 		r.Read(buf)
 		if len(buf) > 0 {
-			buf[0] = kind % 6 // bias toward valid kinds
+			buf[0] = kind % 7 // bias toward valid kinds, PairBatch included
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
-				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%6, rec)
+				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%7, rec)
 			}
 		}()
 		_, _ = Unmarshal(buf)
@@ -64,7 +66,7 @@ func TestBatchDecoderNeverPanics(t *testing.T) {
 		body := make([]byte, int(n)%4096)
 		r.Read(body)
 		if len(body) > 0 {
-			body[0] = kind % 7 // bias toward valid kinds, including FrameBatch
+			body[0] = kind % 8 // bias toward valid kinds, including FrameBatch
 		}
 		frame := make([]byte, 0, 9+len(body))
 		frame = binary.BigEndian.AppendUint32(frame, uint32(5+len(body)))
@@ -151,6 +153,10 @@ func TestMutatedFramesNeverPanic(t *testing.T) {
 		&Batch{Epoch: 3, Directives: []Directive{{MoveID: 1, Group: 2, From: 0, To: 1}}},
 		&StateTransfer{MoveID: 4, Buckets: []BucketSpec{{LocalDepth: 2, Bits: 1}}},
 		&ResultBatch{Slave: 1, Outputs: 10},
+		&PairBatch{Slave: 1, Group: 3, Epoch: 9, Pairs: []OutPair{
+			{Probe: tuple.Tuple{Stream: tuple.S1, Key: 7, TS: 100},
+				Stored: tuple.Packed{Key: 7, TS: 42}},
+		}},
 	}
 	trials := 500 // soak-style; keep a sanity pass in -short runs
 	if testing.Short() {

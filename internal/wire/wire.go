@@ -8,14 +8,16 @@
 // logical size and result batches count the composite result tuples they
 // summarize — which is what all communication-overhead metrics use.
 //
-// Paper correspondence: the message set is exactly the paper's fixed
-// per-epoch communication pattern (§IV-B/§IV-C) — Hello is the slave's
-// load report opening each epoch exchange, Batch carries the master's
-// drained mini-buffers plus reorganization directives, StateTransfer is the
-// direct supplier→consumer partition-group movement, and ResultBatch is the
-// slave→collector output summary. FrameWriter/FrameReader add the batched
-// physical framing described in README.md ("Wire protocol"); framing never
-// changes WireSize.
+// Paper correspondence: the message set is the paper's fixed per-epoch
+// communication pattern (§IV-B/§IV-C) — Hello is the slave's load report
+// opening each epoch exchange, Batch carries the master's drained
+// mini-buffers plus reorganization directives, StateTransfer is the direct
+// supplier→consumer partition-group movement, and ResultBatch is the
+// slave→collector output summary — plus PairBatch, the beyond-the-paper
+// slave→downstream-consumer delivery of materialized output pairs (the
+// engine's SocketSink produces it, cmd/sjoin-collect consumes it).
+// FrameWriter/FrameReader add the batched physical framing described in
+// README.md ("Wire protocol"); framing never changes WireSize.
 package wire
 
 import (
@@ -35,6 +37,8 @@ const (
 	KindBatch
 	KindStateTransfer
 	KindResultBatch
+	_ // 5 is KindFrameBatch, the physical frame envelope (frame.go)
+	KindPairBatch
 )
 
 func (k Kind) String() string {
@@ -49,6 +53,8 @@ func (k Kind) String() string {
 		return "ResultBatch"
 	case KindFrameBatch:
 		return "FrameBatch"
+	case KindPairBatch:
+		return "PairBatch"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -101,6 +107,8 @@ func decodeMessage(d *decoder) (Message, error) {
 		m = &StateTransfer{}
 	case KindResultBatch:
 		m = &ResultBatch{}
+	case KindPairBatch:
+		m = &PairBatch{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, d.buf[0])
 	}
@@ -235,6 +243,39 @@ func (r *ResultBatch) WireSize() int64 {
 	return headerSize + 24 + tuple.ResultSize*r.Outputs
 }
 
+// OutPair is one materialized join output as shipped downstream: the probing
+// tuple and the stored opposite-stream window tuple it matched. It is the
+// wire-level mirror of the join module's Pair (wire sits below join in the
+// layer map, so the pair layout is restated here rather than imported).
+type OutPair struct {
+	Probe  tuple.Tuple
+	Stored tuple.Packed
+}
+
+// PairBatch is the slave→downstream-consumer delivery of one round's
+// materialized output pairs: the producing slave and partition-group, the
+// sink's emission sequence number (Epoch — unique per sink connection, but
+// concurrent join workers can race it into the queue, so consumers must
+// not assume the stream carries it in order), and the count-prefixed
+// packed pairs. It rides the same batched physical framing as every other
+// message, splitting across frames at MaxFrameBytes.
+// WireSize charges the composite-result volume (tuple.ResultSize per pair),
+// matching the accounting ResultBatch uses for the same outputs.
+type PairBatch struct {
+	Slave int32
+	Group int32
+	Epoch int64
+	Pairs []OutPair
+}
+
+// Kind implements Message.
+func (*PairBatch) Kind() Kind { return KindPairBatch }
+
+// WireSize implements Message.
+func (pb *PairBatch) WireSize() int64 {
+	return headerSize + 16 + tuple.ResultSize*int64(len(pb.Pairs))
+}
+
 // --- encoding helpers ---
 
 func appendU8(b []byte, v uint8) []byte { return append(b, v) }
@@ -347,6 +388,10 @@ func (d *decoder) sliceLen() int {
 
 // tupleEncSize is the encoded size of one tuple (stream u8 + key + ts).
 const tupleEncSize = 9
+
+// pairEncSize is the encoded size of one output pair (probe tuple + packed
+// stored tuple).
+const pairEncSize = tupleEncSize + 8
 
 func (d *decoder) tuples() []tuple.Tuple {
 	n := d.sliceLen()
@@ -462,6 +507,48 @@ func (st *StateTransfer) decodeFrom(d *decoder) error {
 	st.Window[0] = d.tuples()
 	st.Window[1] = d.tuples()
 	st.Pending = d.tuples()
+	return d.err
+}
+
+func (pb *PairBatch) appendTo(b []byte) []byte {
+	b = appendI32(b, pb.Slave)
+	b = appendI32(b, pb.Group)
+	b = appendI64(b, pb.Epoch)
+	b = appendU32(b, uint32(len(pb.Pairs)))
+	for _, p := range pb.Pairs {
+		b = appendTuple(b, p.Probe)
+		b = appendI32(b, p.Stored.Key)
+		b = appendI32(b, p.Stored.TS)
+	}
+	return b
+}
+
+func (pb *PairBatch) decodeFrom(d *decoder) error {
+	pb.Slave = d.i32()
+	pb.Group = d.i32()
+	pb.Epoch = d.i64()
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return d.err
+	}
+	// Like tuples(): never preallocate more than the remaining bytes could
+	// hold, so a corrupt count cannot force a giant allocation before the
+	// truncation is detected.
+	c := n
+	if lim := len(d.buf)/pairEncSize + 1; c > lim {
+		c = lim
+	}
+	pb.Pairs = make([]OutPair, 0, c)
+	for i := 0; i < n; i++ {
+		p := OutPair{Probe: d.tuple()}
+		p.Stored.Key = d.i32()
+		p.Stored.TS = d.i32()
+		if d.err != nil {
+			pb.Pairs = nil
+			return d.err
+		}
+		pb.Pairs = append(pb.Pairs, p)
+	}
 	return d.err
 }
 

@@ -227,7 +227,7 @@ func TestFrameRejectsOversizedHeader(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for _, k := range []Kind{KindHello, KindBatch, KindStateTransfer, KindResultBatch} {
+	for _, k := range []Kind{KindHello, KindBatch, KindStateTransfer, KindResultBatch, KindPairBatch} {
 		if k.String() == "" || k.String()[0] == 'K' {
 			t.Fatalf("bad name %q", k.String())
 		}
