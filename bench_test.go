@@ -303,6 +303,61 @@ func BenchmarkRoundAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiQuery measures the marginal cost of additional join queries
+// over one shared ingested window set: a steady-state count-only epoch at
+// the Table-I workload shape with 1, 2, and 4 identical hash queries
+// registered. Ingestion and expiry run once per round regardless of the
+// query count, so ns/op should grow sublinearly in queries (the probe work
+// is the only per-query term) and allocs/op must stay 0 — the multi-query
+// round path preserves the zero-allocation steady state.
+func BenchmarkMultiQuery(b *testing.B) {
+	for _, queries := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			cfg := join.Config{
+				WindowMs: 30_000,
+				Theta:    1_500_000,
+				FineTune: true,
+				Mode:     join.ModeHash,
+				Expiry:   join.ExpiryBlocks,
+			}
+			cfg.Queries = make([]join.QueryConfig, queries)
+			for i := range cfg.Queries {
+				cfg.Queries[i] = join.QueryConfig{ID: int32(i), Mode: join.ModeHash, CountOnly: true}
+			}
+			m := join.MustNew(cfg)
+			s1, s2 := workload.Pair(workload.Config{
+				Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
+			})
+			const epochMs = 2_000
+			now := int32(0)
+			nextEpoch := func() []tuple.Tuple {
+				batch := workload.Merge(s1.Batch(now, now+epochMs), s2.Batch(now, now+epochMs))
+				now += epochMs
+				return batch
+			}
+			for now < 2*cfg.WindowMs {
+				end := now + epochMs
+				m.ProcessAll(0, end, nextEpoch())
+			}
+			epochs := make([][]tuple.Tuple, b.N)
+			for i := range epochs {
+				epochs[i] = nextEpoch()
+			}
+			t0 := now - int32(b.N)*epochMs
+			b.ReportAllocs()
+			b.ResetTimer()
+			var outputs int64
+			for i, batch := range epochs {
+				for _, res := range m.ProcessAll(0, t0+int32(i+1)*epochMs, batch) {
+					outputs += res.Outputs
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(outputs)/float64(b.N)/float64(queries), "outputs/epoch/query")
+		})
+	}
+}
+
 func benchJoinRound(b *testing.B, mode join.Mode) {
 	cfg := join.Config{WindowMs: 60_000, Theta: 96 << 10, FineTune: true, Mode: mode}
 	m := join.MustNew(cfg)

@@ -24,6 +24,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -135,6 +137,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sjoin-collect: %d pairs in %d batches over %d groups, %.0f pairs/s, %d bytes\n",
 		sum.Pairs, sum.Batches, len(sum.Groups), sum.PairsPerSec, sum.Bytes)
+	if len(sum.Queries) > 1 {
+		ids := make([]int, 0, len(sum.Queries))
+		for k := range sum.Queries {
+			if id, err := strconv.Atoi(k); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(os.Stderr, "sjoin-collect: query %d: %d pairs\n",
+				id, sum.Queries[strconv.Itoa(id)])
+		}
+	}
 	if *jsonOut != "" {
 		enc, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"streamjoin/internal/cliflags"
@@ -34,6 +35,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("outputs:        %d\n", r.Outputs)
+	if len(cfg.Queries) > 0 {
+		// One line per registered query, in id order (the two-query e2e
+		// check compares these against the consumer's per-query tallies).
+		ids := make([]int, 0, len(r.DelayByQuery))
+		for q := range r.DelayByQuery {
+			ids = append(ids, int(q))
+		}
+		sort.Ints(ids)
+		for _, q := range ids {
+			st := r.DelayByQuery[int32(q)]
+			fmt.Printf("query %d outputs: %d (avg delay %v)\n", q, st.Count, st.Mean())
+		}
+	}
 	fmt.Printf("average delay:  %v\n", r.MeanDelay())
 	fmt.Printf("epochs served:  %d\n", r.EpochsServed)
 	fmt.Printf("movements:      %d completed\n", r.MovesCompleted)

@@ -37,6 +37,35 @@ func parseSink(v string) (countOnly bool, sinkAddr string, err error) {
 	}
 }
 
+// parseQuery parses one -query flag value, "ID:PROBER:SINK", into a
+// core.QuerySpec: a non-negative query id, a prober ("hash" or "scan"), and
+// a sink in the -sink syntax (the tcp form keeps its own colons:
+// "1:hash:tcp:127.0.0.1:9999").
+func parseQuery(v string) (core.QuerySpec, error) {
+	var q core.QuerySpec
+	parts := strings.SplitN(v, ":", 3)
+	if len(parts) != 3 {
+		return q, fmt.Errorf("query %q: want ID:PROBER:SINK", v)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &q.ID); err != nil || q.ID < 0 {
+		return q, fmt.Errorf("query %q: bad id %q (want a non-negative integer)", v, parts[0])
+	}
+	switch parts[1] {
+	case "hash":
+		q.Prober = join.ModeHash
+	case "scan":
+		q.Prober = join.ModeScan
+	default:
+		return q, fmt.Errorf("query %q: unknown prober %q (want hash or scan)", v, parts[1])
+	}
+	countOnly, sinkAddr, err := parseSink(parts[2])
+	if err != nil {
+		return q, fmt.Errorf("query %q: %v", v, err)
+	}
+	q.CountOnly, q.SinkAddr = countOnly, sinkAddr
+	return q, nil
+}
+
 // Bind registers flags for every user-facing Config field onto fs and
 // returns a function that materializes the Config after fs.Parse.
 func Bind(fs *flag.FlagSet) func() core.Config {
@@ -87,6 +116,16 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 			countOnly, sinkAddr, err = parseSink(v)
 			return err
 		})
+	var queries []core.QuerySpec
+	fs.Func("query", `register one join query as "ID:PROBER:SINK" (repeatable): non-negative id, prober "hash" or "scan", and a sink in -sink syntax (e.g. -query 0:hash:count -query "1:scan:tcp:127.0.0.1:9999"). All queries share each slave's ingested windows. Mutually exclusive with -sink/-prober; omitted = the single legacy query`,
+		func(v string) error {
+			q, err := parseQuery(v)
+			if err != nil {
+				return err
+			}
+			queries = append(queries, q)
+			return nil
+		})
 	return func() core.Config {
 		cfg := core.DefaultConfig()
 		cfg.Slaves = *slaves
@@ -113,6 +152,7 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.LiveProber = prober
 		cfg.CountOnly = countOnly
 		cfg.SinkAddr = sinkAddr
+		cfg.Queries = queries
 		cfg.WireBatchBytes = *wbatch
 		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
 		cfg.Workers = *workers

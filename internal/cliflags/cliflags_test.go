@@ -104,6 +104,70 @@ func TestSinkFlag(t *testing.T) {
 	}
 }
 
+func TestQueryFlag(t *testing.T) {
+	parse := func(args ...string) (core.Config, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(discard{})
+		get := Bind(fs)
+		if err := fs.Parse(args); err != nil {
+			return core.Config{}, err
+		}
+		return get(), nil
+	}
+
+	cfg, err := parse(
+		"-query", "0:hash:count",
+		"-query", "1:scan:tcp:127.0.0.1:7402",
+		"-query", "2:hash:discard",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.QuerySpec{
+		{ID: 0, Prober: join.ModeHash, CountOnly: true},
+		{ID: 1, Prober: join.ModeScan, SinkAddr: "127.0.0.1:7402"},
+		{ID: 2, Prober: join.ModeHash},
+	}
+	if len(cfg.Queries) != len(want) {
+		t.Fatalf("got %d queries, want %d", len(cfg.Queries), len(want))
+	}
+	for i, w := range want {
+		if cfg.Queries[i] != w {
+			t.Fatalf("Queries[%d] = %+v, want %+v", i, cfg.Queries[i], w)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if cfg, err := parse(); err != nil || len(cfg.Queries) != 0 {
+		t.Fatalf("default queries = %v (err %v), want none", cfg.Queries, err)
+	}
+
+	for _, bad := range []string{
+		"0:hash",                // missing sink
+		"x:hash:count",          // bad id
+		"-1:hash:count",         // negative id
+		"0:quantum:count",       // bad prober
+		"0:hash:kafka",          // bad sink mode
+		"0:hash:tcp:nohostport", // bad sink addr
+	} {
+		if _, err := parse("-query", bad); err == nil {
+			t.Errorf("-query %q parsed, want error", bad)
+		}
+	}
+
+	// -query and -sink on one command line survive parsing but fail
+	// Validate (the config-level exclusivity check).
+	cfg, err = parse("-query", "0:hash:count", "-sink", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("-query plus -sink should fail Validate")
+	}
+}
+
 // discard silences flag-package usage output during error-path tests.
 type discard struct{}
 

@@ -26,6 +26,7 @@ type Tally struct {
 	bytes    int64
 	perGroup map[int32]int64
 	perSlave map[int32]int64
+	perQuery map[int32]int64
 	onBatch  func(*wire.PairBatch)
 }
 
@@ -36,6 +37,7 @@ func New(onBatch func(*wire.PairBatch)) *Tally {
 	return &Tally{
 		perGroup: make(map[int32]int64),
 		perSlave: make(map[int32]int64),
+		perQuery: make(map[int32]int64),
 		onBatch:  onBatch,
 	}
 }
@@ -73,6 +75,7 @@ func (t *Tally) fold(pb *wire.PairBatch, bytes int64) {
 	t.bytes += bytes
 	t.perGroup[pb.Group] += int64(len(pb.Pairs))
 	t.perSlave[pb.Slave] += int64(len(pb.Pairs))
+	t.perQuery[pb.Query] += int64(len(pb.Pairs))
 	if t.onBatch != nil {
 		t.onBatch(pb)
 	}
@@ -88,6 +91,9 @@ type Summary struct {
 	PairsPerSec float64          `json:"pairs_per_sec"`
 	Groups      map[string]int64 `json:"groups"`
 	Slaves      map[string]int64 `json:"slaves"`
+	// Queries splits the pair count by producing query id (single-query
+	// producers tally everything under "0").
+	Queries map[string]int64 `json:"queries"`
 }
 
 // Snapshot copies the tally into a Summary, deriving the receive rate over
@@ -102,6 +108,7 @@ func (t *Tally) Snapshot(elapsed time.Duration) Summary {
 		Seconds: elapsed.Seconds(),
 		Groups:  make(map[string]int64, len(t.perGroup)),
 		Slaves:  make(map[string]int64, len(t.perSlave)),
+		Queries: make(map[string]int64, len(t.perQuery)),
 	}
 	if s.Seconds > 0 {
 		s.PairsPerSec = float64(t.pairs) / s.Seconds
@@ -112,7 +119,21 @@ func (t *Tally) Snapshot(elapsed time.Duration) Summary {
 	for sl, n := range t.perSlave {
 		s.Slaves[strconv.Itoa(int(sl))] = n
 	}
+	for q, n := range t.perQuery {
+		s.Queries[strconv.Itoa(int(q))] = n
+	}
 	return s
+}
+
+// PerQuery copies the per-query pair counts keyed by query ID.
+func (t *Tally) PerQuery() map[int32]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int32]int64, len(t.perQuery))
+	for q, n := range t.perQuery {
+		out[q] = n
+	}
+	return out
 }
 
 // PerGroup copies the per-group pair counts keyed by group ID.

@@ -21,6 +21,7 @@ type collectorNode struct {
 	mu       sync.Mutex
 	total    metrics.DelayStats
 	perSlave map[int32]*metrics.DelayStats
+	perQuery map[int32]*metrics.DelayStats
 	batches  int64
 }
 
@@ -30,6 +31,7 @@ func newCollector(proc engine.Proc, inbox engine.Inbox, stop func() bool) *colle
 		inbox:    inbox,
 		stop:     stop,
 		perSlave: make(map[int32]*metrics.DelayStats),
+		perQuery: make(map[int32]*metrics.DelayStats),
 	}
 }
 
@@ -83,6 +85,12 @@ func (c *collectorNode) fold(rb *wire.ResultBatch) {
 		c.perSlave[rb.Slave] = ps
 	}
 	ps.Merge(&d)
+	pq, ok := c.perQuery[rb.Query]
+	if !ok {
+		pq = &metrics.DelayStats{}
+		c.perQuery[rb.Query] = pq
+	}
+	pq.Merge(&d)
 	c.batches++
 	c.mu.Unlock()
 }
@@ -92,17 +100,23 @@ func (c *collectorNode) Reset() {
 	c.mu.Lock()
 	c.total.Reset()
 	c.perSlave = make(map[int32]*metrics.DelayStats)
+	c.perQuery = make(map[int32]*metrics.DelayStats)
 	c.batches = 0
 	c.mu.Unlock()
 }
 
-// Snapshot copies the aggregates.
-func (c *collectorNode) Snapshot() (metrics.DelayStats, map[int32]metrics.DelayStats) {
+// Snapshot copies the aggregates: the overall delay stats plus the per-slave
+// and per-query breakdowns (a single-query run has one query entry, id 0).
+func (c *collectorNode) Snapshot() (metrics.DelayStats, map[int32]metrics.DelayStats, map[int32]metrics.DelayStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	per := make(map[int32]metrics.DelayStats, len(c.perSlave))
 	for id, d := range c.perSlave {
 		per[id] = *d
 	}
-	return c.total, per
+	byQ := make(map[int32]metrics.DelayStats, len(c.perQuery))
+	for id, d := range c.perQuery {
+		byQ[id] = *d
+	}
+	return c.total, per, byQ
 }

@@ -170,6 +170,17 @@ type Config struct {
 	// with Sink and CountOnly; ignored by the simulation.
 	SinkAddr string
 
+	// Queries registers multiple join queries to run over the same ingested
+	// window set: every live slave ingests and expires each partition-group's
+	// windows once per round and probes them for every registered query,
+	// producing per-query result batches and (with per-query SinkAddrs or
+	// Sinks) per-query pair streams. Empty means one query built from the
+	// legacy fields (ID 0, LiveProber, CountOnly, SinkAddr, Sink) — the
+	// exact single-query behavior, wire traffic included. When Queries is
+	// set, the legacy Sink/CountOnly/SinkAddr fields must stay unset.
+	// The simulation runs every query with its indexed prober.
+	Queries []QuerySpec
+
 	// Workers is the number of join workers a live slave process hosts:
 	// each worker owns the disjoint subset of the slave's partition-groups
 	// that hashes to it (group mod W), with its own windowed stores and
@@ -298,6 +309,34 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: SinkAddr: %w", err)
 		}
 	}
+	if len(c.Queries) > 0 {
+		if c.Sink != nil || c.CountOnly || c.SinkAddr != "" {
+			return fmt.Errorf("core: Queries and the legacy Sink/CountOnly/SinkAddr fields are mutually exclusive")
+		}
+		seen := make(map[int32]bool, len(c.Queries))
+		for i, q := range c.Queries {
+			switch {
+			case q.ID < 0:
+				return fmt.Errorf("core: Queries[%d].ID = %d, want >= 0", i, q.ID)
+			case seen[q.ID]:
+				return fmt.Errorf("core: duplicate query id %d (Queries[%d])", q.ID, i)
+			case q.Prober != join.ModeHash && q.Prober != join.ModeScan:
+				return fmt.Errorf("core: Queries[%d].Prober = %v, want hash or scan", i, q.Prober)
+			case q.CountOnly && q.Sink != nil:
+				return fmt.Errorf("core: query %d: CountOnly skips materialization, so Sink would never fire", q.ID)
+			case q.CountOnly && q.SinkAddr != "":
+				return fmt.Errorf("core: query %d: CountOnly skips materialization, so SinkAddr would receive nothing", q.ID)
+			case q.SinkAddr != "" && q.Sink != nil:
+				return fmt.Errorf("core: query %d: Sink and SinkAddr are mutually exclusive", q.ID)
+			}
+			if q.SinkAddr != "" {
+				if _, _, err := net.SplitHostPort(q.SinkAddr); err != nil {
+					return fmt.Errorf("core: query %d: SinkAddr: %w", q.ID, err)
+				}
+			}
+			seen[q.ID] = true
+		}
+	}
 	for i, m := range c.SlaveMemBytes {
 		if m < 0 {
 			return fmt.Errorf("core: SlaveMemBytes[%d] = %d", i, m)
@@ -323,6 +362,45 @@ func (c *Config) Validate() error {
 type RateStep struct {
 	AtMs int32
 	Rate float64
+}
+
+// QuerySpec registers one join query in Config.Queries: its identity,
+// prober, and output disposition. All queries share each slave's ingested
+// windows; a query adds only its probe state and its own output path.
+type QuerySpec struct {
+	// ID identifies the query in every result and pair batch it produces.
+	// IDs must be unique; ID 0 keeps the legacy single-query wire layout
+	// for its traffic.
+	ID int32
+	// Prober selects the query's live prober: join.ModeHash or
+	// join.ModeScan. The simulation ignores it (every query runs indexed).
+	Prober join.Mode
+	// CountOnly skips pair materialization for this query (see
+	// Config.CountOnly). Mutually exclusive with Sink and SinkAddr.
+	CountOnly bool
+	// SinkAddr ships the query's materialized pairs to a downstream
+	// consumer at this HOST:PORT (see Config.SinkAddr). Queries sharing an
+	// address share one connection, multiplexed by query id. Mutually
+	// exclusive with Sink.
+	SinkAddr string
+	// Sink consumes the query's pairs in-process (library callers; see
+	// Config.Sink).
+	Sink join.Sink
+}
+
+// effectiveQueries resolves Config.Queries: the registered specs, or the
+// one-element legacy default built from the single-query fields.
+func (c *Config) effectiveQueries() []QuerySpec {
+	if len(c.Queries) > 0 {
+		return c.Queries
+	}
+	return []QuerySpec{{
+		ID:        0,
+		Prober:    c.LiveProber,
+		CountOnly: c.CountOnly,
+		SinkAddr:  c.SinkAddr,
+		Sink:      c.Sink,
+	}}
 }
 
 // LiveWorkers resolves Workers for a slave that has a whole process (and
@@ -414,17 +492,34 @@ func (c *Config) epochsPerReorg() int64 {
 	return int64(c.ReorgEpochMs / c.DistEpochMs)
 }
 
-// joinConfig builds the join-module configuration.
+// joinConfig builds the join-module configuration. Without registered
+// Queries it keeps the legacy single-query shape (so existing modules are
+// bit-for-bit unchanged); with them it maps each QuerySpec to a
+// join.QueryConfig, forcing the indexed prober when the engine forced
+// c.Mode to it (RunSim — the live runners overwrite Mode with a live
+// prober before building modules).
 func (c *Config) joinConfig() join.Config {
-	return join.Config{
-		WindowMs:  c.WindowMs,
-		Theta:     c.Theta,
-		FineTune:  c.FineTune,
-		Mode:      c.Mode,
-		Expiry:    c.Expiry,
-		Sink:      c.Sink,
-		CountOnly: c.CountOnly,
+	jc := join.Config{
+		WindowMs: c.WindowMs,
+		Theta:    c.Theta,
+		FineTune: c.FineTune,
+		Mode:     c.Mode,
+		Expiry:   c.Expiry,
 	}
+	if len(c.Queries) == 0 {
+		jc.Sink = c.Sink
+		jc.CountOnly = c.CountOnly
+		return jc
+	}
+	jc.Queries = make([]join.QueryConfig, len(c.Queries))
+	for i, q := range c.Queries {
+		mode := q.Prober
+		if c.Mode == join.ModeIndexed {
+			mode = join.ModeIndexed
+		}
+		jc.Queries[i] = join.QueryConfig{ID: q.ID, Mode: mode, Sink: q.Sink, CountOnly: q.CountOnly}
+	}
+	return jc
 }
 
 // CostModel is the simulated CPU cost of the slave and master inner loops,

@@ -110,6 +110,24 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 		}(c)
 	}
 
+	// Multi-query deployments announce the query specs to every slave
+	// before the clocks start, so slave binaries need no matching -query
+	// flags: the master's spec set is authoritative.
+	if len(cfg.Queries) > 0 {
+		qs := &wire.QuerySet{Specs: make([]wire.QuerySpec, len(cfg.Queries))}
+		for i, q := range cfg.Queries {
+			qs.Specs[i] = wire.QuerySpec{
+				Query:     q.ID,
+				Prober:    uint8(q.Prober),
+				CountOnly: q.CountOnly,
+				SinkAddr:  q.SinkAddr,
+			}
+		}
+		for _, c := range conns {
+			c.Send(qs)
+		}
+	}
+
 	// Clock synchronization: epoch schedules start now.
 	for _, c := range conns {
 		c.Send(&wire.Batch{Epoch: startEpoch})
@@ -169,7 +187,7 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}
-	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Delay, res.DelayBySlave, res.DelayByQuery = collector.Snapshot()
 	res.Outputs = res.Delay.Count
 	for _, a := range master.active {
 		if a {
@@ -253,20 +271,64 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
 	}
 
-	// Downstream pair sink: dial the external consumer directly ("-sink
-	// tcp:HOST:PORT"); the SocketSink itself is created after the clock
-	// re-anchor below so its stats land on the run's process.
-	var sinkConn net.Conn
-	if cfg.SinkAddr != "" {
-		sinkConn, err = dialRetry(cfg.SinkAddr)
-		if err != nil {
-			return fmt.Errorf("core: slave %d pair sink: %w", id, err)
+	// Downstream pair sinks: dial each distinct consumer address directly
+	// ("-sink tcp:HOST:PORT" / per-query SinkAddrs); queries sharing an
+	// address share one connection. The SocketSinks themselves are created
+	// after the clock re-anchor below so their stats land on the run's
+	// process.
+	sinkConns := make(map[string]net.Conn)
+	defer func() {
+		for _, c := range sinkConns {
+			if c != nil {
+				c.Close()
+			}
 		}
+	}()
+	dialSinks := func() error {
+		for _, q := range cfg.effectiveQueries() {
+			if q.SinkAddr == "" {
+				continue
+			}
+			if _, ok := sinkConns[q.SinkAddr]; ok {
+				continue
+			}
+			c, err := dialRetry(q.SinkAddr)
+			if err != nil {
+				return fmt.Errorf("core: slave %d pair sink: %w", id, err)
+			}
+			sinkConns[q.SinkAddr] = c
+		}
+		return nil
+	}
+	if err := dialSinks(); err != nil {
+		return err
 	}
 
-	// Wait for the master's start batch; it defines epoch zero. Re-anchor
-	// the environment clock so slot arithmetic matches the master's.
-	start, ok := master.Recv().(*wire.Batch)
+	// Master handshake: an optional QuerySet announcing the query specs
+	// (multi-query deployments; the master's set overrides local flags),
+	// then the start batch, whose receipt defines epoch zero. Re-anchor the
+	// environment clock so slot arithmetic matches the master's.
+	first := master.Recv()
+	if qset, ok := first.(*wire.QuerySet); ok {
+		cfg.Queries = make([]QuerySpec, len(qset.Specs))
+		for i, sp := range qset.Specs {
+			cfg.Queries[i] = QuerySpec{
+				ID:        sp.Query,
+				Prober:    join.Mode(sp.Prober),
+				CountOnly: sp.CountOnly,
+				SinkAddr:  sp.SinkAddr,
+			}
+		}
+		cfg.Sink, cfg.CountOnly, cfg.SinkAddr = nil, false, ""
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("core: slave %d query set: %w", id, err)
+		}
+		if err := dialSinks(); err != nil {
+			return err
+		}
+		first = master.Recv()
+	}
+	start, ok := first.(*wire.Batch)
 	if !ok || start.Epoch != startEpoch {
 		return fmt.Errorf("core: expected start batch")
 	}
@@ -289,10 +351,35 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 	coll.conn = rebind(coll.conn)
 	coll.now = proc2.Now
 
-	var sink *engine.SocketSink
-	if sinkConn != nil {
-		sink = engine.NewSocketSink(proc2, sinkConn, int32(id), 0)
-		cfg.Sink = sink
+	// One SocketSink per distinct consumer address; every query bound to
+	// that address multiplexes over it via ForQuery. The sink takes
+	// ownership of its connection (drop it from sinkConns so the deferred
+	// cleanup does not double-close); a connection dialed for a spec the
+	// master's QuerySet then dropped stays in sinkConns and is closed on
+	// the way out.
+	sinks := make(map[string]*engine.SocketSink)
+	for _, q := range cfg.effectiveQueries() {
+		if q.SinkAddr == "" {
+			continue
+		}
+		if _, ok := sinks[q.SinkAddr]; ok {
+			continue
+		}
+		sinks[q.SinkAddr] = engine.NewSocketSink(proc2, sinkConns[q.SinkAddr], int32(id), 0)
+		delete(sinkConns, q.SinkAddr)
+	}
+	if len(cfg.Queries) == 0 {
+		if cfg.SinkAddr != "" {
+			cfg.Sink = sinks[cfg.SinkAddr]
+		}
+	} else {
+		queries := append([]QuerySpec(nil), cfg.Queries...)
+		for i := range queries {
+			if queries[i].SinkAddr != "" {
+				queries[i].Sink = sinks[queries[i].SinkAddr].ForQuery(queries[i].ID)
+			}
+		}
+		cfg.Queries = queries
 	}
 
 	s := newSlave(&cfg, int32(id), proc2, master, peers, coll,
@@ -301,9 +388,9 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: slave %d failed: %v", id, r)
 		}
-		if sink != nil {
-			// The slave loop has returned (or died), so no worker can
-			// still Emit; flush the sink and surface a delivery failure.
+		// The slave loop has returned (or died), so no worker can still
+		// Emit; flush every sink and surface the first delivery failure.
+		for _, sink := range sinks {
 			if cerr := sink.Close(); cerr != nil && err == nil {
 				err = fmt.Errorf("core: slave %d pair sink: %w", id, cerr)
 			}

@@ -108,18 +108,19 @@ func RunLive(cfg Config) (*Result, error) {
 	master := newMaster(&cfg, masterP, mConns, ingest, masterStop.Load)
 	collector := newCollector(collP, inbox, collStop.Load)
 
-	// Downstream pair sink: every slave dials the consumer directly, so
-	// join output never funnels through the master. Each slave gets its own
-	// Config copy carrying its SocketSink (the shared cfg stays sink-free).
-	sinks := make([]*engine.SocketSink, cfg.Slaves)
+	// Downstream pair sinks: every slave dials each distinct consumer
+	// address directly, so join output never funnels through the master;
+	// queries sharing an address share one connection per slave,
+	// multiplexed by query id. Each slave gets its own Config copy carrying
+	// its resolved sinks (the shared cfg stays sink-free).
+	sinks := make([][]*engine.SocketSink, cfg.Slaves)
 	closeSinks := func() error {
 		var err error
-		for i, s := range sinks {
-			if s == nil {
-				continue
-			}
-			if cerr := s.Close(); cerr != nil && err == nil {
-				err = fmt.Errorf("core: slave %d pair sink: %w", i, cerr)
+		for i, ss := range sinks {
+			for _, s := range ss {
+				if cerr := s.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("core: slave %d pair sink: %w", i, cerr)
+				}
 			}
 			sinks[i] = nil
 		}
@@ -134,16 +135,33 @@ func RunLive(cfg Config) (*Result, error) {
 	slaveCfg := make([]*Config, cfg.Slaves)
 	for i := range slaveCfg {
 		slaveCfg[i] = &cfg
-		if cfg.SinkAddr == "" {
+		byAddr := make(map[string]*engine.SocketSink)
+		for _, q := range cfg.effectiveQueries() {
+			if q.SinkAddr == "" || byAddr[q.SinkAddr] != nil {
+				continue
+			}
+			sc, err := dialRetry(q.SinkAddr)
+			if err != nil {
+				return nil, fmt.Errorf("core: slave %d pair sink: %w", i, err)
+			}
+			s := engine.NewSocketSink(slaveP[i], sc, int32(i), 0)
+			byAddr[q.SinkAddr] = s
+			sinks[i] = append(sinks[i], s)
+		}
+		if len(byAddr) == 0 {
 			continue
 		}
-		sc, err := dialRetry(cfg.SinkAddr)
-		if err != nil {
-			return nil, fmt.Errorf("core: slave %d pair sink: %w", i, err)
-		}
-		sinks[i] = engine.NewSocketSink(slaveP[i], sc, int32(i), 0)
 		own := cfg
-		own.Sink = sinks[i]
+		if len(cfg.Queries) == 0 {
+			own.Sink = byAddr[cfg.SinkAddr]
+		} else {
+			own.Queries = append([]QuerySpec(nil), cfg.Queries...)
+			for qi := range own.Queries {
+				if a := own.Queries[qi].SinkAddr; a != "" {
+					own.Queries[qi].Sink = byAddr[a].ForQuery(own.Queries[qi].ID)
+				}
+			}
+		}
 		slaveCfg[i] = &own
 	}
 
@@ -226,7 +244,7 @@ func RunLive(cfg Config) (*Result, error) {
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}
-	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Delay, res.DelayBySlave, res.DelayByQuery = collector.Snapshot()
 	res.Outputs = res.Delay.Count
 	for i := range slaves {
 		res.Slaves[i] = slaveP[i].Stats().Sub(warmSlaves[i])

@@ -22,9 +22,11 @@ type Result struct {
 	MeasuredMs int32
 
 	// Delay aggregates production delays of all outputs; DelayBySlave
-	// splits them per producing slave.
+	// splits them per producing slave, DelayByQuery per join query (a
+	// single-query run has exactly one entry, query 0).
 	Delay        metrics.DelayStats
 	DelayBySlave map[int32]metrics.DelayStats
+	DelayByQuery map[int32]metrics.DelayStats
 
 	// Master and Slaves are per-node resource usage over the measurement
 	// interval.
@@ -285,7 +287,7 @@ func RunSim(cfg Config) (*Result, error) {
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}
-	res.Delay, res.DelayBySlave = collector.Snapshot()
+	res.Delay, res.DelayBySlave, res.DelayByQuery = collector.Snapshot()
 	res.Outputs = res.Delay.Count
 	for i := range slaves {
 		res.Slaves[i] = engine.WrapNode(slaveNds[i]).Stats().Sub(warmSlaves[i])

@@ -39,7 +39,10 @@ type joinWorker struct {
 	curChunk int                     // adaptive round size (tuples)
 	ids      []int32                 // reused sweep list (groupList)
 
-	rb *wire.ResultBatch
+	// rbs accumulates one result batch per registered query (parallel to
+	// cfg.effectiveQueries()); a single-query slave has exactly one, with
+	// Query 0 — the legacy batch.
+	rbs []*wire.ResultBatch
 
 	// instrumentation
 	outputs   int64
@@ -71,13 +74,18 @@ func newWorkerSet(cfg *Config, slave int32, runner engine.Runner) *workerSet {
 		runner:  runner,
 		workers: make([]*joinWorker, runner.Size()),
 	}
+	queries := cfg.effectiveQueries()
 	for i := range ws.workers {
+		rbs := make([]*wire.ResultBatch, len(queries))
+		for qi, q := range queries {
+			rbs[qi] = &wire.ResultBatch{Slave: slave, Query: q.ID}
+		}
 		ws.workers[i] = &joinWorker{
 			id:       i,
 			proc:     runner.Proc(i),
 			mod:      join.MustNew(cfg.joinConfig()),
 			input:    make(map[int32][]tuple.Tuple),
-			rb:       &wire.ResultBatch{Slave: slave},
+			rbs:      rbs,
 			curChunk: cfg.ChunkTuples,
 		}
 	}
@@ -154,32 +162,38 @@ func (ws *workerSet) processUntil(deadline time.Duration) {
 	})
 }
 
-// flushResults merges the workers' accumulated result batches into one and
-// sends it to the collector (DelayStats.Merge is order-independent), so the
-// slave ships exactly one batch per flush regardless of W and its
-// message-count accounting stays comparable across worker counts.
+// flushResults merges the workers' accumulated result batches into one per
+// query and sends them to the collector (DelayStats.Merge is
+// order-independent), so the slave ships at most one batch per query per
+// flush regardless of W and its message-count accounting stays comparable
+// across worker counts. A single-query slave therefore ships exactly the
+// legacy one-batch flush, byte-identical on the wire.
 func (ws *workerSet) flushResults(coll engine.AsyncSender) {
-	var st metrics.DelayStats
-	for _, w := range ws.workers {
-		if w.rb.Outputs == 0 {
+	for qi, q := range ws.cfg.effectiveQueries() {
+		var st metrics.DelayStats
+		for _, w := range ws.workers {
+			rb := w.rbs[qi]
+			if rb.Outputs == 0 {
+				continue
+			}
+			d := statsFromBatch(rb)
+			st.Merge(&d)
+			*rb = wire.ResultBatch{Slave: ws.slave, Query: q.ID} // reset in place, keep the allocation
+		}
+		if st.Count == 0 {
 			continue
 		}
-		d := statsFromBatch(w.rb)
-		st.Merge(&d)
-		*w.rb = wire.ResultBatch{Slave: ws.slave} // reset in place, keep the allocation
+		rb := &wire.ResultBatch{
+			Slave:      ws.slave,
+			Query:      q.ID,
+			Outputs:    st.Count,
+			DelaySumMs: st.SumMs,
+			DelayMinMs: st.MinMs,
+			DelayMaxMs: st.MaxMs,
+		}
+		copy(rb.Hist[:], st.Hist[:])
+		coll.SendAsync(rb)
 	}
-	if st.Count == 0 {
-		return
-	}
-	rb := &wire.ResultBatch{
-		Slave:      ws.slave,
-		Outputs:    st.Count,
-		DelaySumMs: st.SumMs,
-		DelayMinMs: st.MinMs,
-		DelayMaxMs: st.MaxMs,
-	}
-	copy(rb.Hist[:], st.Hist[:])
-	coll.SendAsync(rb)
 }
 
 // extractGroup detaches group id (state movement supply): the owning
@@ -296,16 +310,26 @@ func (w *joinWorker) takeChunk(g int32) []tuple.Tuple {
 	return chunk
 }
 
-// runRound processes one chunk for one group, charges the modeled CPU cost
-// (dilated by the node's background load) to the worker's proc, and records
-// the production delays of the outputs.
+// runRound processes one chunk for one group — every registered query probes
+// the same arrival batch over the shared windows — charges the modeled CPU
+// cost (dilated by the node's background load) to the worker's proc, and
+// records the production delays of each query's outputs into that query's
+// result batch.
 func (w *joinWorker) runRound(ws *workerSet, g int32, chunk []tuple.Tuple) {
-	res := w.mod.Process(g, ws.roundNow(w), chunk)
-	cpu := time.Duration(float64(ws.cfg.Cost.Round(res)) * ws.cfg.slowdown(ws.slave))
+	results := w.mod.ProcessAll(g, ws.roundNow(w), chunk)
+	// Shared round work (ingest, expiry, tuning) is charged to results[0]
+	// only, so summing per-query costs double-counts nothing.
+	var cost time.Duration
+	for qi := range results {
+		cost += ws.cfg.Cost.Round(results[qi])
+	}
+	cpu := time.Duration(float64(cost) * ws.cfg.slowdown(ws.slave))
 	w.proc.Compute(cpu)
 	w.roundsRun++
 	if ws.onRound != nil {
-		ws.onRound(w.id, g, &res)
+		for qi := range results {
+			ws.onRound(w.id, g, &results[qi])
+		}
 	}
 	// Self-clocking round size: keep one round well under an epoch so the
 	// slave stays responsive to the fixed communication schedule even when
@@ -319,22 +343,30 @@ func (w *joinWorker) runRound(ws *workerSet, g int32, chunk []tuple.Tuple) {
 			w.curChunk *= 2
 		}
 	}
-	if res.Outputs == 0 {
-		return
-	}
-	doneMs := ws.roundNow(w)
-	for _, match := range res.Matches {
-		delay := doneMs - match.TS
-		if delay < 0 {
-			delay = 0
+	var doneMs int32
+	haveDone := false
+	for qi := range results {
+		res := &results[qi]
+		if res.Outputs == 0 {
+			continue
 		}
-		w.addDelay(delay, match.N)
+		if !haveDone {
+			doneMs = ws.roundNow(w)
+			haveDone = true
+		}
+		rb := w.rbs[qi]
+		for _, match := range res.Matches {
+			delay := doneMs - match.TS
+			if delay < 0 {
+				delay = 0
+			}
+			addDelay(rb, delay, match.N)
+		}
+		w.outputs += res.Outputs
 	}
-	w.outputs += res.Outputs
 }
 
-func (w *joinWorker) addDelay(delayMs int32, n int64) {
-	rb := w.rb
+func addDelay(rb *wire.ResultBatch, delayMs int32, n int64) {
 	if rb.Outputs == 0 || delayMs < rb.DelayMinMs {
 		rb.DelayMinMs = delayMs
 	}

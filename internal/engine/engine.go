@@ -54,11 +54,33 @@ type Stats struct {
 	SinkPairs int64
 	SinkBytes int64
 	SinkStall time.Duration
+	// SinkQueryPairs breaks SinkPairs down by producing query id. It stays
+	// nil until a sink ships pairs; a single-query run charges everything
+	// under query 0.
+	SinkQueryPairs map[int32]int64
 }
 
 // Sub returns s minus t field-by-field (measurement-interval isolation).
+// The per-query map is subtracted key-wise into a fresh map, so neither
+// operand is aliased or mutated.
 func (s Stats) Sub(t Stats) Stats {
+	var byQuery map[int32]int64
+	if s.SinkQueryPairs != nil || t.SinkQueryPairs != nil {
+		byQuery = make(map[int32]int64, len(s.SinkQueryPairs))
+		for q, v := range s.SinkQueryPairs {
+			byQuery[q] = v
+		}
+		for q, v := range t.SinkQueryPairs {
+			if d := byQuery[q] - v; d != 0 {
+				byQuery[q] = d
+			} else {
+				delete(byQuery, q)
+			}
+		}
+	}
 	return Stats{
+		SinkQueryPairs: byQuery,
+
 		Comm:      s.Comm - t.Comm,
 		Idle:      s.Idle - t.Idle,
 		CPU:       s.CPU - t.CPU,

@@ -68,11 +68,19 @@ func (p *LiveProc) Compute(d time.Duration) {
 	p.mu.Unlock()
 }
 
-// Stats implements Proc.
+// Stats implements Proc. The per-query sink map is deep-copied so the
+// snapshot cannot race later accounting.
 func (p *LiveProc) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	out := p.stats
+	if p.stats.SinkQueryPairs != nil {
+		out.SinkQueryPairs = make(map[int32]int64, len(p.stats.SinkQueryPairs))
+		for q, v := range p.stats.SinkQueryPairs {
+			out.SinkQueryPairs[q] = v
+		}
+	}
+	return out
 }
 
 // addIdle accounts already-elapsed idle time without sleeping (worker procs
@@ -105,14 +113,20 @@ func (p *LiveProc) addWire(sentF, sentB, recvF, recvB int64) {
 	p.mu.Unlock()
 }
 
-// addSink folds downstream pair-sink activity into the process stats. The
-// SocketSink's writer goroutine adds pairs/bytes; join workers add stall
-// time from Emit.
-func (p *LiveProc) addSink(pairs, bytes int64, stall time.Duration) {
+// addSink folds downstream pair-sink activity into the process stats,
+// attributed to the producing query. The SocketSink's writer goroutine adds
+// pairs/bytes; join workers add stall time from Emit.
+func (p *LiveProc) addSink(query int32, pairs, bytes int64, stall time.Duration) {
 	p.mu.Lock()
 	p.stats.SinkPairs += pairs
 	p.stats.SinkBytes += bytes
 	p.stats.SinkStall += stall
+	if pairs != 0 {
+		if p.stats.SinkQueryPairs == nil {
+			p.stats.SinkQueryPairs = make(map[int32]int64)
+		}
+		p.stats.SinkQueryPairs[query] += pairs
+	}
 	p.mu.Unlock()
 }
 

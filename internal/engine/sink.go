@@ -16,7 +16,10 @@ import (
 // consumer as wire.PairBatch messages over the standard batched framing,
 // closing the pipeline the paper leaves at the collector: source → master →
 // slaves → downstream consumer. Each slave dials the consumer directly, so
-// join output never funnels through the master.
+// join output never funnels through the master. A multi-query slave
+// multiplexes every query sharing this consumer over the one connection:
+// ForQuery hands out per-query join.Sinks that stamp their query id into
+// each PairBatch while reusing the sink's writer, queue, and recycle pool.
 //
 // Concurrency and backpressure: Emit (called by every join worker of the
 // slave, see join.Sink) hands the pair buffer to a single writer goroutine
@@ -69,6 +72,7 @@ type SocketSink struct {
 
 // sinkBatch is one Emit hand-off in flight to the writer goroutine.
 type sinkBatch struct {
+	query int32
 	group int32
 	epoch int64
 	pairs []join.Pair
@@ -119,12 +123,42 @@ func newSocketSink(p *LiveProc, conn io.WriteCloser, slave int32, queue int) *So
 	}
 }
 
-// Emit implements join.Sink: it transfers ownership of pairs to the writer
-// goroutine and hands back a recycled buffer when one is available. It
-// blocks only when the in-flight queue is full (downstream backpressure).
-// Safe for concurrent use by all of a slave's join workers.
+// Emit implements join.Sink for query 0 (the legacy single-query path): it
+// transfers ownership of pairs to the writer goroutine and hands back a
+// recycled buffer when one is available. It blocks only when the in-flight
+// queue is full (downstream backpressure). Safe for concurrent use by all of
+// a slave's join workers.
 func (s *SocketSink) Emit(group int32, pairs []join.Pair) []join.Pair {
-	b := sinkBatch{group: group, epoch: s.seq.Add(1), pairs: pairs}
+	return s.emit(0, group, pairs)
+}
+
+// ForQuery returns a join.Sink that emits with the given query id over this
+// sink's connection, queue, and recycle pool — the multiplexing face of the
+// sink: N queries sharing one consumer connection cost one writer goroutine
+// and one queue, and their batches interleave as tagged PairBatch messages.
+// Query 0 returns the sink itself, whose traffic stays byte-identical to the
+// single-query protocol.
+func (s *SocketSink) ForQuery(query int32) join.Sink {
+	if query == 0 {
+		return s
+	}
+	return &querySink{s: s, query: query}
+}
+
+// querySink is ForQuery's adapter: a SocketSink view that stamps a fixed
+// query id on every emission.
+type querySink struct {
+	s     *SocketSink
+	query int32
+}
+
+// Emit implements join.Sink.
+func (qs *querySink) Emit(group int32, pairs []join.Pair) []join.Pair {
+	return qs.s.emit(qs.query, group, pairs)
+}
+
+func (s *SocketSink) emit(query, group int32, pairs []join.Pair) []join.Pair {
+	b := sinkBatch{query: query, group: group, epoch: s.seq.Add(1), pairs: pairs}
 	select {
 	case s.q <- b: // fast path: queue has room, no stall
 	default:
@@ -146,7 +180,7 @@ func (s *SocketSink) Emit(group int32, pairs []join.Pair) []join.Pair {
 		d := time.Since(t0)
 		s.stall.Add(d.Nanoseconds())
 		if s.p != nil {
-			s.p.addSink(0, 0, d)
+			s.p.addSink(query, 0, 0, d)
 		}
 	}
 	select {
@@ -210,12 +244,12 @@ func (s *SocketSink) write(b sinkBatch) error {
 		for _, p := range pairs[:n] {
 			s.enc = append(s.enc, wire.OutPair{Probe: p.Probe, Stored: p.Stored})
 		}
-		s.pb = wire.PairBatch{Slave: s.slave, Group: b.group, Epoch: b.epoch, Pairs: s.enc}
+		s.pb = wire.PairBatch{Slave: s.slave, Query: b.query, Group: b.group, Epoch: b.epoch, Pairs: s.enc}
 		if err := s.fw.Append(&s.pb); err != nil {
 			return err
 		}
 		pairs = pairs[n:]
-		s.account(int64(n))
+		s.account(b.query, int64(n))
 	}
 	return nil
 }
@@ -228,20 +262,21 @@ func (s *SocketSink) flush() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
-	s.account(0)
+	s.account(0, 0)
 	return nil
 }
 
-// account folds n freshly encoded pairs plus any new framing bytes into the
-// counters and the process stats (writer goroutine only).
-func (s *SocketSink) account(n int64) {
+// account folds n freshly encoded pairs (for the given query) plus any new
+// framing bytes into the counters and the process stats (writer goroutine
+// only).
+func (s *SocketSink) account(query int32, n int64) {
 	s.pairs.Add(n)
 	_, _, bytes := s.fw.Stats()
 	delta := bytes - s.lastBytes
 	s.lastBytes = bytes
 	s.bytes.Add(delta)
 	if s.p != nil && (n != 0 || delta != 0) {
-		s.p.addSink(n, delta, 0)
+		s.p.addSink(query, n, delta, 0)
 	}
 }
 

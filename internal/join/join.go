@@ -34,19 +34,34 @@
 // expiry, and bucket splits and merges under fine tuning. The equivalence of
 // the three modes is asserted by tests against a brute-force reference join.
 //
+// # Queries
+//
+// A module hosts one or more join queries over the same ingested windows.
+// The windowed stores are the query-independent layer: every bucket keeps
+// exactly one pair of window.Stores regardless of query count, ingested and
+// expired once per round. Each registered query (Config.Queries) adds only
+// its probe state on top — a hash index, count maps, or nothing for the
+// scan prober — plus its own pooled round results and its own Sink.
+// ProcessAll runs every query against the same arrival batch and window
+// content; because probing never mutates the windows, each query's output
+// is bit-identical to what a single-query module running it alone would
+// produce. The legacy single-query fields (Mode, Sink, CountOnly) remain
+// the one-element default.
+//
 // # Allocation discipline
 //
 // Steady-state rounds are allocation-free. The hash prober's index is an
 // open-addressing table over a slot arena with free-run recycling
 // (hashIndex), not a map of slices; the per-round working set — bucket
 // partitioning state and the backing arrays of RoundResult.Pairs and
-// RoundResult.Matches — lives in a roundScratch owned by the Module and is
-// reused across rounds. Consequently the slices in a returned RoundResult
-// are only valid until the module's next Process call; callers that retain
-// them must copy. A configured Sink takes over the pair hand-off entirely:
-// rounds deliver pairs to Sink.Emit (which can recycle the buffer by
-// returning it) and RoundResult.Pairs stays nil. Config.CountOnly skips
-// pair materialization altogether for count-only runs.
+// RoundResult.Matches, pooled per query — lives in a roundScratch owned by
+// the Module and is reused across rounds. Consequently the slices in a
+// returned RoundResult are only valid until the module's next Process call;
+// callers that retain them must copy. A configured Sink takes over the pair
+// hand-off entirely: rounds deliver pairs to Sink.Emit (which can recycle
+// the buffer by returning it) and RoundResult.Pairs stays nil.
+// Config.CountOnly skips pair materialization altogether for count-only
+// runs.
 //
 // # Concurrency
 //
@@ -104,6 +119,24 @@ const (
 	ExpiryBlocks
 )
 
+// QueryConfig registers one join query on a module: its identity, prober,
+// and output disposition. All queries share the module's windowed stores;
+// each carries only its own probe state and sink.
+type QueryConfig struct {
+	// ID is the query's identity, stamped into every RoundResult (and, by
+	// the engines, into result and pair batches on the wire). IDs must be
+	// unique within a module.
+	ID int32
+	// Mode selects the query's prober.
+	Mode Mode
+	// Sink, when non-nil, consumes the query's materialized pairs (see
+	// Config.Sink).
+	Sink Sink
+	// CountOnly skips pair materialization for this query (see
+	// Config.CountOnly).
+	CountOnly bool
+}
+
 // Config parameterizes a join module.
 type Config struct {
 	// WindowMs is the sliding-window length in milliseconds (W1 = W2).
@@ -114,7 +147,8 @@ type Config struct {
 	// FineTune enables partition tuning; disabled, every partition-group is
 	// one monolithic scan unit (the paper's "no fine-tuning" ablation).
 	FineTune bool
-	// Mode selects the prober.
+	// Mode selects the prober of the default single query (ignored when
+	// Queries is set).
 	Mode Mode
 	// Expiry selects the expiration policy.
 	Expiry Expiry
@@ -122,12 +156,18 @@ type Config struct {
 	MaxDepth uint
 	// Sink, when non-nil, consumes each round's materialized pairs: Process
 	// delivers them to Sink.Emit and RoundResult.Pairs is nil. See Sink for
-	// the buffer hand-off contract.
+	// the buffer hand-off contract. Ignored when Queries is set (each query
+	// carries its own Sink).
 	Sink Sink
 	// CountOnly skips pair materialization entirely: rounds still count
 	// matches (Outputs, Matches and Scanned are unchanged) but no Pair is
 	// ever formed and no Sink is invoked. Mutually exclusive with Sink.
+	// Ignored when Queries is set.
 	CountOnly bool
+	// Queries registers the module's join queries over the shared windows.
+	// Empty means one query built from the legacy fields above
+	// (ID 0, Mode, Sink, CountOnly) — the exact pre-multi-query behavior.
+	Queries []QueryConfig
 }
 
 // Validate checks the configuration; New returns its error, so a
@@ -138,10 +178,30 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("join: WindowMs = %d, want > 0", c.WindowMs)
 	case c.FineTune && c.Theta <= 0:
 		return fmt.Errorf("join: Theta = %d, want > 0 when fine tuning", c.Theta)
-	case c.Mode > ModeHash:
-		return fmt.Errorf("join: unknown prober %v", c.Mode)
-	case c.CountOnly && c.Sink != nil:
-		return fmt.Errorf("join: CountOnly skips materialization, so a Sink would never fire")
+	}
+	if len(c.Queries) == 0 {
+		switch {
+		case c.Mode > ModeHash:
+			return fmt.Errorf("join: unknown prober %v", c.Mode)
+		case c.CountOnly && c.Sink != nil:
+			return fmt.Errorf("join: CountOnly skips materialization, so a Sink would never fire")
+		}
+		return nil
+	}
+	if c.Sink != nil || c.CountOnly {
+		return fmt.Errorf("join: Queries and the legacy Sink/CountOnly fields are mutually exclusive")
+	}
+	seen := make(map[int32]bool, len(c.Queries))
+	for i, q := range c.Queries {
+		switch {
+		case q.Mode > ModeHash:
+			return fmt.Errorf("join: query %d: unknown prober %v", q.ID, q.Mode)
+		case q.CountOnly && q.Sink != nil:
+			return fmt.Errorf("join: query %d: CountOnly skips materialization, so a Sink would never fire", q.ID)
+		case seen[q.ID]:
+			return fmt.Errorf("join: duplicate query id %d (index %d)", q.ID, i)
+		}
+		seen[q.ID] = true
 	}
 	return nil
 }
@@ -150,6 +210,13 @@ func (c *Config) withDefaults() Config {
 	out := *c
 	if out.MaxDepth == 0 {
 		out.MaxDepth = exthash.DefaultMaxDepth
+	}
+	if len(out.Queries) == 0 {
+		out.Queries = []QueryConfig{{ID: 0, Mode: out.Mode, Sink: out.Sink, CountOnly: out.CountOnly}}
+	} else {
+		// Own the slice: callers may reuse theirs, and the module's groups
+		// hold a pointer to this Config for the lifetime of the module.
+		out.Queries = append([]QueryConfig(nil), out.Queries...)
 	}
 	return out
 }
@@ -170,11 +237,15 @@ type Pair struct {
 	Stored tuple.Packed
 }
 
-// RoundResult summarizes one group's processing round for the cost model
-// and metrics. The Matches and Pairs slices are backed by module-owned
-// scratch reused across rounds: they are valid until the module's next
-// Process call, and callers that retain them must copy.
+// RoundResult summarizes one query's share of a group's processing round
+// for the cost model and metrics. The Matches and Pairs slices are backed by
+// module-owned scratch reused across rounds: they are valid until the
+// module's next Process call, and callers that retain them must copy. The
+// shared-window costs of a round (Ingested, Expired, tuning counters) are
+// charged to the first query's result only — windows are ingested and
+// expired once no matter how many queries probe them.
 type RoundResult struct {
+	Query   int32 // ID of the query this result belongs to
 	Matches []Match
 	Pairs   []Pair // materialized outputs (ModeScan and ModeHash; nil when a Sink consumed them or CountOnly is set)
 	Outputs int64  // total pairs (sum of Matches[i].N)
@@ -195,14 +266,29 @@ type perBucket struct {
 }
 
 // roundScratch is the reusable working set of round processing: the bucket
-// partitioning state and the backing arrays handed out through
+// partitioning state (shared — tuples are partitioned once per round) and,
+// per query, the result slice and the backing arrays handed out through
 // RoundResult (or a Sink). One instance lives in each Module; steady-state
-// rounds therefore allocate nothing.
+// rounds therefore allocate nothing regardless of query count.
 type roundScratch struct {
 	perBucket []perBucket
-	pairs     []Pair
-	matches   []Match
+	qres      []RoundResult // one per query, reused across rounds
+	pairs     [][]Pair      // pooled backing arrays, one pool per query
+	matches   [][]Match
 	round     uint64 // round stamp validating bucket.scratchIdx
+}
+
+// ensureQueries sizes the per-query pools. Queries are fixed at module
+// construction, so this allocates on the first round only.
+func (sc *roundScratch) ensureQueries(n int) {
+	for len(sc.pairs) < n {
+		sc.pairs = append(sc.pairs, nil)
+		sc.matches = append(sc.matches, nil)
+	}
+	if cap(sc.qres) < n {
+		sc.qres = make([]RoundResult, n)
+	}
+	sc.qres = sc.qres[:n]
 }
 
 // acquire appends a (reused) perBucket entry for b and returns its index.
@@ -357,42 +443,71 @@ func (m *Module) Splits() int64 { return m.splits }
 // Merges reports cumulative buddy merges.
 func (m *Module) Merges() int64 { return m.merges }
 
-// Process runs one round for the group: ingest and probe the given
-// stream-tagged tuples (timestamp-ordered), then expire, then fine-tune.
-// Every owned group should be processed every round (with tuples=nil when
-// none arrived) so expiration keeps up. With a configured Sink the round's
-// materialized pairs are delivered to it instead of being returned; see
-// RoundResult for the returned slices' lifetime.
+// Process runs one round for the group and returns the first registered
+// query's result (the only one, for a single-query module): ingest and probe
+// the given stream-tagged tuples (timestamp-ordered), then expire, then
+// fine-tune. Every owned group should be processed every round (with
+// tuples=nil when none arrived) so expiration keeps up. With a configured
+// Sink the round's materialized pairs are delivered to it instead of being
+// returned; see RoundResult for the returned slices' lifetime. Multi-query
+// modules use ProcessAll; Process still ingests, expires, and probes for
+// every registered query — it just reports only the first one.
 func (m *Module) Process(id int32, nowMs int32, tuples []tuple.Tuple) RoundResult {
+	return m.ProcessAll(id, nowMs, tuples)[0]
+}
+
+// ProcessAll runs one round for the group, probing every registered query
+// against the same arrival batch and shared window content, and returns one
+// RoundResult per query in Config.Queries order. Windows are ingested and
+// expired once; their costs (Ingested, Expired, tuning counters) appear on
+// the first result only. The returned slice and everything it references are
+// module-owned scratch, valid until the next Process/ProcessAll call. Each
+// query's pairs go to its own Sink when configured.
+func (m *Module) ProcessAll(id int32, nowMs int32, tuples []tuple.Tuple) []RoundResult {
 	g := m.Ensure(id)
-	res := g.process(&m.sc, nowMs, tuples)
-	m.splits += int64(res.Splits)
-	m.merges += int64(res.Merges)
-	m.sc.matches = res.Matches
-	if m.cfg.Sink != nil {
-		if len(res.Pairs) > 0 {
-			// Hand the buffer off; the sink decides whether it comes back.
-			m.sc.pairs = m.cfg.Sink.Emit(id, res.Pairs)
+	results := g.process(&m.sc, nowMs, tuples)
+	m.splits += int64(results[0].Splits)
+	m.merges += int64(results[0].Merges)
+	for qi := range results {
+		res := &results[qi]
+		m.sc.matches[qi] = res.Matches
+		if sink := m.cfg.Queries[qi].Sink; sink != nil {
+			if len(res.Pairs) > 0 {
+				// Hand the buffer off; the sink decides whether it comes back.
+				m.sc.pairs[qi] = sink.Emit(id, res.Pairs)
+			} else {
+				m.sc.pairs[qi] = res.Pairs
+			}
+			// A sink-configured query never exposes its pooled buffer, even
+			// on a zero-match round.
+			res.Pairs = nil
 		} else {
-			m.sc.pairs = res.Pairs
+			m.sc.pairs[qi] = res.Pairs
 		}
-		// A sink-configured module never exposes its pooled buffer, even on
-		// a zero-match round.
-		res.Pairs = nil
-	} else {
-		m.sc.pairs = res.Pairs
 	}
-	return res
+	return results
+}
+
+// bucketQuery is one query's probe state over a bucket's shared windows:
+// the key→count maps of the indexed prober or the key→slot hash indexes of
+// the hash prober. The scan prober keeps no per-query state at all.
+type bucketQuery struct {
+	mode   Mode
+	counts [2]map[int32]int32 // key → live count; ModeIndexed only
+	idx    [2]*hashIndex      // key → live tuple slots, ascending; ModeHash only
 }
 
 // bucket is one fine-tuning unit: a mini-partition-group in paper terms.
+// The two window stores are the query-independent layer — one copy no
+// matter how many queries the module hosts; qs holds each query's probe
+// state over them, parallel to Config.Queries.
 type bucket struct {
-	w      [2]*window.Store
-	counts [2]map[int32]int32 // key → live count; ModeIndexed only
-	idx    [2]*hashIndex      // key → live tuple slots, ascending; ModeHash only
-	// onExp keeps the per-stream auxiliary structures coherent with expiry;
-	// built once per bucket so rounds create no closures. The hooks read
-	// counts/idx through the bucket, surviving merge-time rebuilds.
+	w  [2]*window.Store
+	qs []bucketQuery
+	// onExp keeps every query's per-stream auxiliary structures coherent
+	// with expiry; built once per bucket so rounds create no closures. The
+	// hooks read counts/idx through the bucket, surviving merge-time
+	// rebuilds.
 	onExp [2]func([]tuple.Packed)
 	// scratchRound/scratchIdx locate this bucket's perBucket entry in the
 	// round's scratch (valid when scratchRound matches the current round).
@@ -400,46 +515,53 @@ type bucket struct {
 	scratchIdx   int32
 }
 
-func newBucket(mode Mode) *bucket {
-	b := &bucket{}
+func newBucket(queries []QueryConfig) *bucket {
+	b := &bucket{qs: make([]bucketQuery, len(queries))}
 	b.w[0], b.w[1] = window.NewStore(), window.NewStore()
-	switch mode {
-	case ModeIndexed:
-		b.counts[0] = make(map[int32]int32)
-		b.counts[1] = make(map[int32]int32)
-		for s := 0; s < 2; s++ {
-			b.onExp[s] = b.expireCounts(s)
+	aux := false
+	for qi := range queries {
+		q := &b.qs[qi]
+		q.mode = queries[qi].Mode
+		switch q.mode {
+		case ModeIndexed:
+			q.counts[0] = make(map[int32]int32)
+			q.counts[1] = make(map[int32]int32)
+			aux = true
+		case ModeHash:
+			q.idx[0], q.idx[1] = newHashIndex(), newHashIndex()
+			aux = true
 		}
-	case ModeHash:
-		b.idx[0], b.idx[1] = newHashIndex(), newHashIndex()
+	}
+	if aux {
 		for s := 0; s < 2; s++ {
-			b.onExp[s] = b.expireIndex(s)
+			b.onExp[s] = b.expireAux(s)
 		}
 	}
 	return b
 }
 
-func (b *bucket) expireCounts(s int) func([]tuple.Packed) {
+// expireAux drops expired tuples from every query's auxiliary structures.
+// Stores expire strictly oldest-first, so an expiring tuple's slot is always
+// the head of its key's run in a hash index.
+func (b *bucket) expireAux(s int) func([]tuple.Packed) {
 	return func(chunk []tuple.Packed) {
-		counts := b.counts[s]
-		for _, p := range chunk {
-			if c := counts[p.Key] - 1; c > 0 {
-				counts[p.Key] = c
-			} else {
-				delete(counts, p.Key)
+		for qi := range b.qs {
+			switch q := &b.qs[qi]; q.mode {
+			case ModeIndexed:
+				counts := q.counts[s]
+				for _, p := range chunk {
+					if c := counts[p.Key] - 1; c > 0 {
+						counts[p.Key] = c
+					} else {
+						delete(counts, p.Key)
+					}
+				}
+			case ModeHash:
+				idx := q.idx[s]
+				for _, p := range chunk {
+					idx.removeOldest(p.Key)
+				}
 			}
-		}
-	}
-}
-
-// expireIndex drops expired tuples' slots. Stores expire strictly
-// oldest-first, so the expiring tuple's slot is always the head of its
-// key's run.
-func (b *bucket) expireIndex(s int) func([]tuple.Packed) {
-	return func(chunk []tuple.Packed) {
-		idx := b.idx[s]
-		for _, p := range chunk {
-			idx.removeOldest(p.Key)
 		}
 	}
 }
@@ -452,41 +574,47 @@ func (b *bucket) bytes() int64 { return b.w[0].Bytes() + b.w[1].Bytes() }
 // footprint.
 const countIndexKeyBytes = 16
 
-// indexBytes reports the footprint of the bucket's prober structures —
-// exact for the hash index, estimated for the count maps.
-func (b *bucket) indexBytes(mode Mode) int64 {
+// indexBytes reports the footprint of the bucket's prober structures across
+// all queries — exact for the hash indexes, estimated for the count maps.
+// The shared window stores are deliberately excluded: they are charged once
+// through bucket.bytes, never per query.
+func (b *bucket) indexBytes() int64 {
 	var n int64
-	switch mode {
-	case ModeIndexed:
-		for s := 0; s < 2; s++ {
-			n += int64(len(b.counts[s])) * countIndexKeyBytes
+	for qi := range b.qs {
+		switch q := &b.qs[qi]; q.mode {
+		case ModeIndexed:
+			n += int64(len(q.counts[0])+len(q.counts[1])) * countIndexKeyBytes
+		case ModeHash:
+			n += q.idx[0].footprint() + q.idx[1].footprint()
 		}
-	case ModeHash:
-		n = b.idx[0].footprint() + b.idx[1].footprint()
 	}
 	return n
 }
 
-func (b *bucket) ingest(mode Mode, t tuple.Tuple) {
-	b.ingestPacked(mode, int(t.Stream), t.Packed())
+func (b *bucket) ingest(t tuple.Tuple) {
+	b.ingestPacked(int(t.Stream), t.Packed())
 }
 
-// ingestPacked appends p to stream s's window and keeps the prober's
-// auxiliary structures coherent. Every path that grows a store — round
-// ingestion, split relocation, state installation — goes through it.
-func (b *bucket) ingestPacked(mode Mode, s int, p tuple.Packed) {
+// ingestPacked appends p to stream s's window — once, regardless of query
+// count — and keeps every query's auxiliary structures coherent. Every path
+// that grows a store — round ingestion, split relocation, state
+// installation — goes through it.
+func (b *bucket) ingestPacked(s int, p tuple.Packed) {
 	b.w[s].Append(p)
-	switch mode {
-	case ModeIndexed:
-		b.counts[s][p.Key]++
-	case ModeHash:
-		b.idx[s].add(p.Key, b.w[s].Appended()-1)
+	seq := b.w[s].Appended() - 1
+	for qi := range b.qs {
+		switch q := &b.qs[qi]; q.mode {
+		case ModeIndexed:
+			q.counts[s][p.Key]++
+		case ModeHash:
+			q.idx[s].add(p.Key, seq)
+		}
 	}
 }
 
-// rebuildIndex reconstructs stream s's hash index from the store content
-// (used after a buddy merge, which rebuilds the store wholesale).
-func (b *bucket) rebuildIndex(s int) {
+// rebuildIndex reconstructs query qi's stream-s hash index from the store
+// content (used after a buddy merge, which rebuilds the store wholesale).
+func (b *bucket) rebuildIndex(qi, s int) {
 	idx := newHashIndex()
 	seq := b.w[s].Expired()
 	b.w[s].Chunks(func(chunk []tuple.Packed) {
@@ -495,13 +623,13 @@ func (b *bucket) rebuildIndex(s int) {
 			seq++
 		}
 	})
-	b.idx[s] = idx
+	b.qs[qi].idx[s] = idx
 }
 
 // countIn returns the number of live tuples of stream s with the given key
-// (indexed mode only).
-func (b *bucket) countIn(s int, key int32) int64 {
-	return int64(b.counts[s][key])
+// for query qi (indexed mode only).
+func (b *bucket) countIn(qi, s int, key int32) int64 {
+	return int64(b.qs[qi].counts[s][key])
 }
 
 // Group is one partition-group: the unit of load movement, holding a
@@ -513,7 +641,7 @@ type Group struct {
 }
 
 func newGroup(cfg *Config, id int32) *Group {
-	g := &Group{cfg: cfg, id: id, dir: exthash.New(newBucket(cfg.Mode))}
+	g := &Group{cfg: cfg, id: id, dir: exthash.New(newBucket(cfg.Queries))}
 	g.dir.SetMaxDepth(cfg.MaxDepth)
 	return g
 }
@@ -532,7 +660,7 @@ func (g *Group) WindowBytes() int64 {
 // Module.IndexBytes).
 func (g *Group) IndexBytes() int64 {
 	var n int64
-	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { n += b.indexBytes(g.cfg.Mode) })
+	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) { n += b.indexBytes() })
 	return n
 }
 
@@ -544,9 +672,16 @@ func (g *Group) bucketFor(key int32) *bucket {
 	return g.dir.Lookup(tuple.FineHash(key))
 }
 
-func (g *Group) process(sc *roundScratch, nowMs int32, tuples []tuple.Tuple) RoundResult {
-	res := RoundResult{Pairs: sc.pairs[:0], Matches: sc.matches[:0]}
-	mode := g.cfg.Mode
+func (g *Group) process(sc *roundScratch, nowMs int32, tuples []tuple.Tuple) []RoundResult {
+	nq := len(g.cfg.Queries)
+	sc.ensureQueries(nq)
+	for qi := range sc.qres {
+		sc.qres[qi] = RoundResult{
+			Query:   g.cfg.Queries[qi].ID,
+			Pairs:   sc.pairs[qi][:0],
+			Matches: sc.matches[qi][:0],
+		}
+	}
 
 	// Partition the round's tuples by bucket, preserving timestamp order,
 	// with deterministic first-seen bucket ordering. The partitioning state
@@ -569,74 +704,85 @@ func (g *Group) process(sc *roundScratch, nowMs int32, tuples []tuple.Tuple) Rou
 		b := pb.b
 		// fresh(S1) probes stored(S2): S2's fresh tuples are not ingested
 		// yet, which is the paper's "omit the fresh tuples within the head
-		// blocks of the opposite mini window-partitions".
-		g.probe(b, &res, pb.f[0], 1)
+		// blocks of the opposite mini window-partitions". Every query probes
+		// the same window content before the shared single ingest, so each
+		// sees exactly what a single-query module would.
+		for qi := 0; qi < nq; qi++ {
+			g.probe(qi, b, &sc.qres[qi], pb.f[0], 1)
+		}
 		for _, t := range pb.f[0] {
-			b.ingest(mode, t)
+			b.ingest(t)
 		}
 		// fresh(S2) probes stored(S1) including the now-stale S1 tuples.
-		g.probe(b, &res, pb.f[1], 0)
-		for _, t := range pb.f[1] {
-			b.ingest(mode, t)
+		for qi := 0; qi < nq; qi++ {
+			g.probe(qi, b, &sc.qres[qi], pb.f[1], 0)
 		}
-		res.Ingested += len(pb.f[0]) + len(pb.f[1])
+		for _, t := range pb.f[1] {
+			b.ingest(t)
+		}
+		sc.qres[0].Ingested += len(pb.f[0]) + len(pb.f[1])
 	}
 
-	// Expire after probing (completeness rule), across all buckets.
+	// Expire after probing (completeness rule), across all buckets. Shared
+	// windows expire once; the hooks fan the drops out to every query's
+	// auxiliary structures.
 	cutoff := nowMs - g.cfg.WindowMs
+	res0 := &sc.qres[0]
 	g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
 		for s := 0; s < 2; s++ {
 			if g.cfg.Expiry == ExpiryExact {
-				res.Expired += b.w[s].ExpireExact(cutoff, b.onExp[s])
+				res0.Expired += b.w[s].ExpireExact(cutoff, b.onExp[s])
 			} else {
-				res.Expired += b.w[s].ExpireBlocks(cutoff, b.onExp[s])
+				res0.Expired += b.w[s].ExpireBlocks(cutoff, b.onExp[s])
 			}
 		}
 	})
 
 	if g.cfg.FineTune {
-		g.tune(&res)
+		g.tune(res0)
 	}
 	sc.releaseBuckets()
-	return res
+	return sc.qres
 }
 
 // ProbeOnly joins the given tuples against the group's stored windows
 // without ingesting them, as the cascaded probe copies of a CTR-style
-// router require (the copy is stored at its home node only). Expiry and
-// tuning do not run; only Matches, Outputs and Scanned are filled in
-// (plus Pairs for the materializing probers; no scratch or Sink is
-// involved, so the returned slices are the caller's to keep).
+// router require (the copy is stored at its home node only). It runs the
+// first registered query only. Expiry and tuning do not run; only Matches,
+// Outputs and Scanned are filled in (plus Pairs for the materializing
+// probers; no scratch or Sink is involved, so the returned slices are the
+// caller's to keep).
 func (g *Group) ProbeOnly(tuples []tuple.Tuple) RoundResult {
-	var res RoundResult
+	res := RoundResult{Query: g.cfg.Queries[0].ID}
 	for _, t := range tuples {
 		b := g.bucketFor(t.Key)
-		g.probeOne(b, &res, t, int(t.Stream.Opposite()))
+		g.probeOne(0, b, &res, t, int(t.Stream.Opposite()))
 	}
 	return res
 }
 
-// probe joins the fresh tuples against stream opp of bucket b.
-func (g *Group) probe(b *bucket, res *RoundResult, fresh []tuple.Tuple, opp int) {
+// probe joins the fresh tuples against stream opp of bucket b for query qi.
+func (g *Group) probe(qi int, b *bucket, res *RoundResult, fresh []tuple.Tuple, opp int) {
 	for _, t := range fresh {
-		g.probeOne(b, res, t, opp)
+		g.probeOne(qi, b, res, t, opp)
 	}
 }
 
-// probeOne joins one probe tuple against stream opp of bucket b, recording
-// the match (and, for the scan and hash probers, the materialized pairs) in
-// res. Scanned is charged with the tuples the probe actually visits: the
-// whole opposite store for the nested-loop modes, only the matching slots
-// for the hash index.
-func (g *Group) probeOne(b *bucket, res *RoundResult, t tuple.Tuple, opp int) {
+// probeOne joins one probe tuple against stream opp of bucket b for query
+// qi, recording the match (and, for the scan and hash probers, the
+// materialized pairs) in res. Scanned is charged with the tuples the probe
+// actually visits: the whole opposite store for the nested-loop modes, only
+// the matching slots for the hash index.
+func (g *Group) probeOne(qi int, b *bucket, res *RoundResult, t tuple.Tuple, opp int) {
+	qc := &g.cfg.Queries[qi]
 	var n int64
-	switch g.cfg.Mode {
+	switch qc.Mode {
 	case ModeIndexed:
-		n = b.countIn(opp, t.Key)
+		n = b.countIn(qi, opp, t.Key)
 		res.Scanned += int64(b.w[opp].Len())
 	case ModeScan:
 		key := t.Key
-		if g.cfg.CountOnly {
+		if qc.CountOnly {
 			b.w[opp].Chunks(func(chunk []tuple.Packed) {
 				for _, p := range chunk {
 					if p.Key == key {
@@ -656,8 +802,8 @@ func (g *Group) probeOne(b *bucket, res *RoundResult, t tuple.Tuple, opp int) {
 		}
 		res.Scanned += int64(b.w[opp].Len())
 	case ModeHash:
-		slots := b.idx[opp].slots(t.Key)
-		if !g.cfg.CountOnly {
+		slots := b.qs[qi].idx[opp].slots(t.Key)
+		if !qc.CountOnly {
 			for _, seq := range slots {
 				res.Pairs = append(res.Pairs, Pair{Probe: t, Stored: b.w[opp].At(seq)})
 			}
@@ -692,7 +838,7 @@ func (g *Group) tune(res *RoundResult) {
 				continue
 			}
 			ok := g.dir.Split(uint64(bits), func(old *bucket, bit uint) (*bucket, *bucket) {
-				zero, one := newBucket(g.cfg.Mode), newBucket(g.cfg.Mode)
+				zero, one := newBucket(g.cfg.Queries), newBucket(g.cfg.Queries)
 				for s := 0; s < 2; s++ {
 					old.w[s].Chunks(func(chunk []tuple.Packed) {
 						for _, p := range chunk {
@@ -700,7 +846,7 @@ func (g *Group) tune(res *RoundResult) {
 							if tuple.FineHash(p.Key)>>bit&1 == 1 {
 								dst = one
 							}
-							dst.ingestPacked(g.cfg.Mode, s, p)
+							dst.ingestPacked(s, p)
 							res.SplitMoves++
 						}
 					})
@@ -730,22 +876,24 @@ func (g *Group) tune(res *RoundResult) {
 			ok := g.dir.TryMergeBuddy(uint64(bits),
 				func(a, b *bucket) bool { return a.bytes()+b.bytes() < 2*theta },
 				func(zero, one *bucket) *bucket {
-					nb := newBucket(g.cfg.Mode)
+					nb := newBucket(g.cfg.Queries)
 					nb.w[0] = window.MergeStores(zero.w[0], one.w[0])
 					nb.w[1] = window.MergeStores(zero.w[1], one.w[1])
-					switch g.cfg.Mode {
-					case ModeIndexed:
-						for s := 0; s < 2; s++ {
-							for k, v := range zero.counts[s] {
-								nb.counts[s][k] += v
+					for qi := range nb.qs {
+						switch nb.qs[qi].mode {
+						case ModeIndexed:
+							for s := 0; s < 2; s++ {
+								for k, v := range zero.qs[qi].counts[s] {
+									nb.qs[qi].counts[s][k] += v
+								}
+								for k, v := range one.qs[qi].counts[s] {
+									nb.qs[qi].counts[s][k] += v
+								}
 							}
-							for k, v := range one.counts[s] {
-								nb.counts[s][k] += v
-							}
+						case ModeHash:
+							nb.rebuildIndex(qi, 0)
+							nb.rebuildIndex(qi, 1)
 						}
-					case ModeHash:
-						nb.rebuildIndex(0)
-						nb.rebuildIndex(1)
 					}
 					res.SplitMoves += int64(nb.w[0].Len() + nb.w[1].Len())
 					return nb

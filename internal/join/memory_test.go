@@ -18,20 +18,27 @@ func distinctRound(n int, ts int32) []tuple.Tuple {
 }
 
 // hashFootprint recomputes the module's hash-index footprint from the index
-// internals: every bucket's open-addressing table plus slot arena.
+// internals: every bucket's open-addressing tables plus slot arenas, summed
+// over every hash-mode query.
 func hashFootprint(t *testing.T, m *Module) int64 {
 	t.Helper()
 	var n int64
 	for _, id := range m.IDs() {
 		g, _ := m.Get(id)
 		g.dir.Buckets(func(_ uint32, _ uint, b *bucket) {
-			for s := 0; s < 2; s++ {
-				n += int64(len(b.idx[s].entries))*idxEntryBytes +
-					int64(cap(b.idx[s].arena))*8
-				// The index must cover exactly the live tuples, one slot
-				// each.
-				if got, want := b.idx[s].liveSlots(), b.w[s].Len(); got != want {
-					t.Fatalf("index covers %d slots for %d live tuples", got, want)
+			for qi := range b.qs {
+				if b.qs[qi].mode != ModeHash {
+					continue
+				}
+				idx := b.qs[qi].idx
+				for s := 0; s < 2; s++ {
+					n += int64(len(idx[s].entries))*idxEntryBytes +
+						int64(cap(idx[s].arena))*8
+					// The index must cover exactly the live tuples, one slot
+					// each.
+					if got, want := idx[s].liveSlots(), b.w[s].Len(); got != want {
+						t.Fatalf("index covers %d slots for %d live tuples", got, want)
+					}
 				}
 			}
 		})

@@ -1,0 +1,126 @@
+package join
+
+import (
+	"testing"
+)
+
+// These tests pin the resource story of the multi-query refactor: N queries
+// over one module share its windowed stores — ingested once, expired once,
+// charged once — and each additional query costs only its own probe state
+// (hash index or nothing for a scan). The steady-state round path stays
+// allocation-free with several queries registered, exactly as it is with
+// one.
+
+// mqModule builds a module hosting n identical hash queries (count-only, so
+// no sink wiring is needed) and feeds every one the same deterministic
+// steady-state workload via ProcessAll.
+func mqModule(n int) (*Module, *steadyGen) {
+	const epochMs = 500
+	cfg := Config{
+		WindowMs: 8 * epochMs,
+		FineTune: false,
+		Mode:     ModeHash,
+		Expiry:   ExpiryBlocks,
+	}
+	cfg.Queries = make([]QueryConfig, n)
+	for i := range cfg.Queries {
+		cfg.Queries[i] = QueryConfig{ID: int32(i), Mode: ModeHash, CountOnly: true}
+	}
+	return MustNew(cfg), newSteadyGen(256, epochMs)
+}
+
+// TestMultiQueryMemorySharing is the memory-sharing proof: a module hosting
+// N hash queries charges its windows once, and its total accounted footprint
+// exceeds the single-query module's by exactly (N-1) copies of the per-query
+// index bytes.
+func TestMultiQueryMemorySharing(t *testing.T) {
+	const epochs = 24
+	run := func(n int) *Module {
+		m, g := mqModule(n)
+		for e := 0; e < epochs; e++ {
+			m.ProcessAll(0, int32(e+1)*g.epochMs, g.fill(e))
+		}
+		return m
+	}
+	m1 := run(1)
+	m4 := run(4)
+
+	if w1, w4 := m1.WindowBytes(), m4.WindowBytes(); w1 != w4 || w1 == 0 {
+		t.Fatalf("windows not shared: 1 query charges %d bytes, 4 queries %d", w1, w4)
+	}
+	idx1, idx4 := m1.IndexBytes(), m4.IndexBytes()
+	if idx1 == 0 {
+		t.Fatal("hash query charges no index bytes")
+	}
+	if idx4 != 4*idx1 {
+		t.Fatalf("4 identical hash queries charge %d index bytes, want 4×%d", idx4, idx1)
+	}
+	if got, want := m4.MemoryBytes(), m1.MemoryBytes()+3*idx1; got != want {
+		t.Fatalf("4-query footprint %d, want single-query %d plus 3 indexes (%d)",
+			got, m1.MemoryBytes(), want)
+	}
+
+	// The hash-index footprint the accountant reports must match the index
+	// internals, per query (reuses the memory-test auditor, which walks
+	// every registered query's index).
+	if audited := hashFootprint(t, m4); audited != idx4 {
+		t.Fatalf("IndexBytes %d vs audited footprint %d", idx4, audited)
+	}
+
+	// A scan query adds no index state at all: windows + one hash index.
+	mixed := MustNew(Config{
+		WindowMs: 8 * 500,
+		Mode:     ModeHash,
+		Expiry:   ExpiryBlocks,
+		Queries: []QueryConfig{
+			{ID: 0, Mode: ModeHash, CountOnly: true},
+			{ID: 1, Mode: ModeScan, CountOnly: true},
+		},
+	})
+	g := newSteadyGen(256, 500)
+	for e := 0; e < epochs; e++ {
+		mixed.ProcessAll(0, int32(e+1)*500, g.fill(e))
+	}
+	if got, want := mixed.MemoryBytes(), m1.MemoryBytes(); got != want {
+		t.Fatalf("hash+scan footprint %d, want the single-hash-query %d (scan is index-free)",
+			got, want)
+	}
+}
+
+// TestMultiQuerySteadyStateAllocs extends the zero-allocation guarantee to
+// the multi-query round path: once warm, a ProcessAll round running one
+// hash and one scan query over the shared windows allocates nothing.
+func TestMultiQuerySteadyStateAllocs(t *testing.T) {
+	const epochMs = 500
+	cfg := Config{
+		WindowMs: 8 * epochMs,
+		FineTune: false, // steady state: tuning would be a one-off transient
+		Mode:     ModeHash,
+		Expiry:   ExpiryBlocks,
+		Queries: []QueryConfig{
+			{ID: 0, Mode: ModeHash, CountOnly: true},
+			{ID: 1, Mode: ModeScan, CountOnly: true},
+			{ID: 2, Mode: ModeHash, Sink: DiscardSink{}},
+		},
+	}
+	m := MustNew(cfg)
+	g := newSteadyGen(256, epochMs)
+	epoch := 0
+	var outputs [3]int64
+	step := func() {
+		batch := g.fill(epoch)
+		epoch++
+		for qi, res := range m.ProcessAll(0, int32(epoch)*epochMs, batch) {
+			outputs[qi] += res.Outputs
+		}
+	}
+	for i := 0; i < 4*g.keyPeriod; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(2*g.keyPeriod, step); allocs != 0 {
+		t.Fatalf("steady-state multi-query round allocates %v per round, want 0", allocs)
+	}
+	if outputs[0] == 0 || outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Fatalf("queries disagree on outputs: %v", outputs)
+	}
+}

@@ -47,7 +47,7 @@ func (m *Module) Install(st State) error {
 		return fmt.Errorf("join: install: group %d already owned", st.ID)
 	}
 	dir, err := exthash.FromShape(st.GlobalDepth, st.Buckets, func(uint32, uint) *bucket {
-		return newBucket(m.cfg.Mode)
+		return newBucket(m.cfg.Queries)
 	})
 	if err != nil {
 		return fmt.Errorf("join: install group %d: %w", st.ID, err)
@@ -56,7 +56,7 @@ func (m *Module) Install(st State) error {
 	g := &Group{cfg: &m.cfg, id: st.ID, dir: dir}
 	for s := 0; s < 2; s++ {
 		for _, p := range st.Window[s] {
-			g.bucketFor(p.Key).ingestPacked(m.cfg.Mode, s, p)
+			g.bucketFor(p.Key).ingestPacked(s, p)
 		}
 	}
 	m.groups[st.ID] = g

@@ -37,6 +37,12 @@ func sampleMessages() []Message {
 			{Probe: tuple.Tuple{Stream: tuple.S2, Key: 9, TS: 101},
 				Stored: tuple.Packed{Key: 9, TS: 80}},
 		}},
+		&QuerySet{Specs: []QuerySpec{{Query: 1, Prober: 2, SinkAddr: "127.0.0.1:9"}, {Query: 2}}},
+		&ResultBatch{Slave: 2, Query: 3, Outputs: 4, DelaySumMs: 9, DelayMinMs: 1, DelayMaxMs: 5},
+		&PairBatch{Slave: 2, Query: 5, Group: 1, Epoch: 7, Pairs: []OutPair{
+			{Probe: tuple.Tuple{Stream: tuple.S1, Key: 3, TS: 50},
+				Stored: tuple.Packed{Key: 3, TS: 44}},
+		}},
 	}
 }
 

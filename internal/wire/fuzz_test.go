@@ -21,11 +21,11 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		buf := make([]byte, int(n)%4096)
 		r.Read(buf)
 		if len(buf) > 0 {
-			buf[0] = kind % 7 // bias toward valid kinds, PairBatch included
+			buf[0] = kind % 10 // bias toward valid kinds, query-tagged ones included
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
-				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%7, rec)
+				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%10, rec)
 			}
 		}()
 		_, _ = Unmarshal(buf)
@@ -66,7 +66,7 @@ func TestBatchDecoderNeverPanics(t *testing.T) {
 		body := make([]byte, int(n)%4096)
 		r.Read(body)
 		if len(body) > 0 {
-			body[0] = kind % 8 // bias toward valid kinds, including FrameBatch
+			body[0] = kind % 10 // bias toward valid kinds, including FrameBatch and the query-tagged ones
 		}
 		frame := make([]byte, 0, 9+len(body))
 		frame = binary.BigEndian.AppendUint32(frame, uint32(5+len(body)))
@@ -153,10 +153,16 @@ func TestMutatedFramesNeverPanic(t *testing.T) {
 		&Batch{Epoch: 3, Directives: []Directive{{MoveID: 1, Group: 2, From: 0, To: 1}}},
 		&StateTransfer{MoveID: 4, Buckets: []BucketSpec{{LocalDepth: 2, Bits: 1}}},
 		&ResultBatch{Slave: 1, Outputs: 10},
+		&ResultBatch{Slave: 1, Query: 2, Outputs: 10},
 		&PairBatch{Slave: 1, Group: 3, Epoch: 9, Pairs: []OutPair{
 			{Probe: tuple.Tuple{Stream: tuple.S1, Key: 7, TS: 100},
 				Stored: tuple.Packed{Key: 7, TS: 42}},
 		}},
+		&PairBatch{Slave: 1, Query: 4, Group: 3, Epoch: 9, Pairs: []OutPair{
+			{Probe: tuple.Tuple{Stream: tuple.S2, Key: 5, TS: 90},
+				Stored: tuple.Packed{Key: 5, TS: 40}},
+		}},
+		&QuerySet{Specs: []QuerySpec{{Query: 1, Prober: 2, SinkAddr: "h:1"}, {Query: 2, CountOnly: true}}},
 	}
 	trials := 500 // soak-style; keep a sanity pass in -short runs
 	if testing.Short() {

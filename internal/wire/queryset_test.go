@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamjoin/internal/tuple"
+)
+
+func randQuerySet(r *rand.Rand, n int) *QuerySet {
+	qs := &QuerySet{}
+	if n > 0 {
+		qs.Specs = make([]QuerySpec, n) // n == 0 stays nil, like a decode
+	}
+	addrs := []string{"", "127.0.0.1:9009", "collect.example:7"}
+	for i := range qs.Specs {
+		qs.Specs[i] = QuerySpec{
+			Query:     r.Int31n(64),
+			Prober:    uint8(r.Intn(3)),
+			CountOnly: r.Intn(2) == 1,
+			SinkAddr:  addrs[r.Intn(len(addrs))],
+		}
+	}
+	return qs
+}
+
+// TestQuerySetRoundTrip checks Marshal/Unmarshal identity across sizes,
+// including the empty set, and the WireSize accounting.
+func TestQuerySetRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		in := randQuerySet(r, n)
+		out, err := Unmarshal(Marshal(in))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, ok := out.(*QuerySet)
+		if !ok {
+			t.Fatalf("n=%d: decoded %T", n, out)
+		}
+		if len(got.Specs) != n || (n > 0 && !reflect.DeepEqual(got.Specs, in.Specs)) {
+			t.Fatalf("n=%d: specs diverged: %+v != %+v", n, got.Specs, in.Specs)
+		}
+		want := int64(headerSize + 4)
+		for _, sp := range in.Specs {
+			want += 10 + int64(len(sp.SinkAddr))
+		}
+		if in.WireSize() != want {
+			t.Fatalf("n=%d: WireSize = %d, want %d", n, in.WireSize(), want)
+		}
+	}
+}
+
+// TestQuerySetTruncated replays every strict prefix of an encoded set; each
+// must fail cleanly (no panic, no fabricated message).
+func TestQuerySetTruncated(t *testing.T) {
+	full := Marshal(randQuerySet(rand.New(rand.NewSource(7)), 9))
+	for cut := 0; cut < len(full); cut++ {
+		if m, err := Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("prefix %d of %d decoded as %v", cut, len(full), m.Kind())
+		}
+	}
+}
+
+// TestQuerySetMutatedCount rewrites the spec-count prefix of a valid
+// encoding to every interesting wrong value: decoding must error and never
+// panic.
+func TestQuerySetMutatedCount(t *testing.T) {
+	full := Marshal(randQuerySet(rand.New(rand.NewSource(9)), 5))
+	// Layout: kind(1) + count(4) + specs.
+	const countOff = 1
+	for _, count := range []uint32{0, 1, 4, 6, 1 << 16, 1 << 27, 1<<28 + 1, ^uint32(0)} {
+		buf := append([]byte(nil), full...)
+		binary.BigEndian.PutUint32(buf[countOff:], count)
+		if m, err := Unmarshal(buf); err == nil {
+			t.Fatalf("count %d accepted as %v", count, m.Kind())
+		}
+	}
+}
+
+// TestQuerySetCorruptAddrLenNoGiantAlloc proves a huge string length over a
+// tiny body cannot force a proportional preallocation.
+func TestQuerySetCorruptAddrLenNoGiantAlloc(t *testing.T) {
+	in := &QuerySet{Specs: []QuerySpec{{Query: 1, Prober: 2, SinkAddr: "x:1"}}}
+	buf := Marshal(in)
+	// Layout: kind(1) + count(4) + query(4) + prober(1) + countOnly(1) +
+	// addrLen(4) + addr.
+	const addrLenOff = 1 + 4 + 4 + 1 + 1
+	binary.BigEndian.PutUint32(buf[addrLenOff:], 1<<28)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Fatal("corrupt addr length accepted")
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("corrupt addr length cost %.0f allocs/op", allocs)
+	}
+}
+
+func randQueryPairBatch(r *rand.Rand, query int32, n int) *PairBatch {
+	pb := randPairBatch(r, n)
+	pb.Query = query
+	return pb
+}
+
+// TestQueryTaggedKindSelection pins the kind rule: query 0 encodes as the
+// legacy kinds (byte-identical traffic), anything else as the tagged kinds.
+func TestQueryTaggedKindSelection(t *testing.T) {
+	if k := (&PairBatch{}).Kind(); k != KindPairBatch {
+		t.Fatalf("query-0 pair batch kind = %v", k)
+	}
+	if k := (&PairBatch{Query: 3}).Kind(); k != KindPairBatchQ {
+		t.Fatalf("tagged pair batch kind = %v", k)
+	}
+	if k := (&ResultBatch{}).Kind(); k != KindResultBatch {
+		t.Fatalf("query-0 result batch kind = %v", k)
+	}
+	if k := (&ResultBatch{Query: 3}).Kind(); k != KindResultBatchQ {
+		t.Fatalf("tagged result batch kind = %v", k)
+	}
+}
+
+// TestQueryZeroEncodingUnchanged proves the single-query wire layout is
+// byte-identical to the legacy protocol: zeroing the Query field of a
+// tagged batch must reproduce the legacy encoding exactly.
+func TestQueryZeroEncodingUnchanged(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tagged := randQueryPairBatch(r, 5, 12)
+	legacy := *tagged
+	legacy.Query = 0
+	et, el := Marshal(tagged), Marshal(&legacy)
+	if len(et) != len(el)+4 {
+		t.Fatalf("tagged encoding %d bytes, legacy %d: want legacy+4", len(et), len(el))
+	}
+	// Tagged layout: new kind byte + query id + the legacy body verbatim.
+	if !bytes.Equal(et[5:], el[1:]) {
+		t.Fatal("tagged body diverged from legacy body")
+	}
+	if el[0] != byte(KindPairBatch) || et[0] != byte(KindPairBatchQ) {
+		t.Fatalf("kind bytes %d/%d", el[0], et[0])
+	}
+
+	rbT := &ResultBatch{Slave: 2, Query: 7, Outputs: 11, DelaySumMs: 40, DelayMinMs: 1, DelayMaxMs: 9}
+	rbL := *rbT
+	rbL.Query = 0
+	et, el = Marshal(rbT), Marshal(&rbL)
+	if len(et) != len(el)+4 || !bytes.Equal(et[5:], el[1:]) {
+		t.Fatal("tagged result batch diverged from legacy body")
+	}
+}
+
+// TestQueryTaggedRoundTrip round-trips query-tagged pair and result batches
+// directly and through the batched physical framing.
+func TestQueryTaggedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	msgs := []Message{
+		randQueryPairBatch(r, 1, 10),
+		randQueryPairBatch(r, 9, 0),
+		&ResultBatch{Slave: 1, Query: 2, Outputs: 3, Hist: [DelayHistBuckets]int64{1: 3}},
+		randQueryPairBatch(r, 1<<20, 300),
+		&QuerySet{Specs: []QuerySpec{{Query: 1, Prober: 2, SinkAddr: "a:1"}, {Query: 2}}},
+	}
+	for i, in := range msgs {
+		out, err := Unmarshal(Marshal(in))
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("message %d: %+v != %+v", i, out, in)
+		}
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, 0)
+	for _, m := range msgs {
+		if err := fw.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range msgs {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("framed message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("framed message %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestQueryTaggedRejectsQueryZero pins the canonical-encoding rule from the
+// decode side: a tagged kind byte carrying query id 0 must be rejected, so
+// every message has exactly one valid encoding.
+func TestQueryTaggedRejectsQueryZero(t *testing.T) {
+	full := Marshal(randQueryPairBatch(rand.New(rand.NewSource(6)), 3, 4))
+	binary.BigEndian.PutUint32(full[1:], 0) // query id field
+	if m, err := Unmarshal(full); err == nil {
+		t.Fatalf("tagged kind with query 0 accepted as %v", m.Kind())
+	}
+}
+
+// TestQueryTaggedPairBatchTruncated replays every strict prefix of a tagged
+// encoding; each must fail cleanly.
+func TestQueryTaggedPairBatchTruncated(t *testing.T) {
+	full := Marshal(randQueryPairBatch(rand.New(rand.NewSource(8)), 17, 25))
+	for cut := 0; cut < len(full); cut++ {
+		if m, err := Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("prefix %d of %d decoded as %v", cut, len(full), m.Kind())
+		}
+	}
+	full = Marshal(&ResultBatch{Slave: 1, Query: 4, Outputs: 9})
+	for cut := 0; cut < len(full); cut++ {
+		if m, err := Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("result prefix %d of %d decoded as %v", cut, len(full), m.Kind())
+		}
+	}
+}
+
+// TestQueryTaggedPairBatchMutatedCount rewrites the pair-count prefix of a
+// valid tagged encoding to every interesting wrong value; decoding must
+// error and never panic, and a huge count must stay within a small
+// allocation budget.
+func TestQueryTaggedPairBatchMutatedCount(t *testing.T) {
+	full := Marshal(randQueryPairBatch(rand.New(rand.NewSource(9)), 6, 8))
+	// Tagged layout: kind(1) + query(4) + slave(4) + group(4) + epoch(8) + count(4).
+	const countOff = 1 + 4 + 4 + 4 + 8
+	for _, count := range []uint32{0, 1, 7, 9, 1 << 16, 1 << 27, 1<<28 + 1, ^uint32(0)} {
+		buf := append([]byte(nil), full...)
+		binary.BigEndian.PutUint32(buf[countOff:], count)
+		if m, err := Unmarshal(buf); err == nil {
+			t.Fatalf("count %d accepted as %v", count, m.Kind())
+		}
+	}
+	buf := append([]byte(nil), full...)
+	binary.BigEndian.PutUint32(buf[countOff:], 1<<28)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Fatal("corrupt count accepted")
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("corrupt count cost %.0f allocs/op", allocs)
+	}
+}
+
+// TestQuerySetWireSizeHasResultSizeFreeAccounting pins that QuerySet is
+// control-plane overhead only: its WireSize never scales with
+// tuple.ResultSize (it carries no outputs).
+func TestQuerySetWireSizeHasResultSizeFreeAccounting(t *testing.T) {
+	qs := randQuerySet(rand.New(rand.NewSource(1)), 10)
+	if qs.WireSize() >= tuple.ResultSize*10 {
+		t.Fatalf("QuerySet charges %d bytes for 10 specs", qs.WireSize())
+	}
+}

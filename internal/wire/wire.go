@@ -39,6 +39,13 @@ const (
 	KindResultBatch
 	_ // 5 is KindFrameBatch, the physical frame envelope (frame.go)
 	KindPairBatch
+	KindQuerySet
+	// KindResultBatchQ and KindPairBatchQ are the query-tagged encodings of
+	// ResultBatch and PairBatch: same body, prefixed with a non-zero query
+	// id. Query 0 always uses the legacy kinds, so single-query traffic is
+	// byte-identical to the pre-multi-query protocol.
+	KindResultBatchQ
+	KindPairBatchQ
 )
 
 func (k Kind) String() string {
@@ -55,6 +62,12 @@ func (k Kind) String() string {
 		return "FrameBatch"
 	case KindPairBatch:
 		return "PairBatch"
+	case KindQuerySet:
+		return "QuerySet"
+	case KindResultBatchQ:
+		return "ResultBatchQ"
+	case KindPairBatchQ:
+		return "PairBatchQ"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -97,8 +110,10 @@ func decodeMessage(d *decoder) (Message, error) {
 	if len(d.buf) == 0 {
 		return nil, ErrTruncated
 	}
+	k := Kind(d.buf[0])
+	d.buf = d.buf[1:]
 	var m Message
-	switch Kind(d.buf[0]) {
+	switch k {
 	case KindHello:
 		m = &Hello{}
 	case KindBatch:
@@ -109,10 +124,27 @@ func decodeMessage(d *decoder) (Message, error) {
 		m = &ResultBatch{}
 	case KindPairBatch:
 		m = &PairBatch{}
+	case KindQuerySet:
+		m = &QuerySet{}
+	case KindResultBatchQ, KindPairBatchQ:
+		// Query-tagged variants: a non-zero query id precedes the legacy
+		// body. Query 0 must use the legacy kind (the canonical encoding),
+		// so the id is validated here.
+		query := d.i32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if query == 0 {
+			return nil, fmt.Errorf("wire: %v carries query id 0 (legacy kind required)", k)
+		}
+		if k == KindResultBatchQ {
+			m = &ResultBatch{Query: query}
+		} else {
+			m = &PairBatch{Query: query}
+		}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, d.buf[0])
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
 	}
-	d.buf = d.buf[1:]
 	if err := m.decodeFrom(d); err != nil {
 		return nil, err
 	}
@@ -228,6 +260,7 @@ const DelayHistBuckets = 24
 // that ships every output tuple.
 type ResultBatch struct {
 	Slave      int32
+	Query      int32 // producing query id; 0 encodes as the legacy kind
 	Outputs    int64
 	DelaySumMs int64
 	DelayMinMs int32
@@ -235,12 +268,23 @@ type ResultBatch struct {
 	Hist       [DelayHistBuckets]int64
 }
 
-// Kind implements Message.
-func (*ResultBatch) Kind() Kind { return KindResultBatch }
+// Kind implements Message. A batch for query 0 is the legacy ResultBatch —
+// byte-identical to the pre-multi-query protocol; any other query id uses
+// the query-tagged kind.
+func (r *ResultBatch) Kind() Kind {
+	if r.Query != 0 {
+		return KindResultBatchQ
+	}
+	return KindResultBatch
+}
 
 // WireSize implements Message.
 func (r *ResultBatch) WireSize() int64 {
-	return headerSize + 24 + tuple.ResultSize*r.Outputs
+	n := int64(headerSize + 24 + tuple.ResultSize*r.Outputs)
+	if r.Query != 0 {
+		n += 4
+	}
+	return n
 }
 
 // OutPair is one materialized join output as shipped downstream: the probing
@@ -263,17 +307,60 @@ type OutPair struct {
 // matching the accounting ResultBatch uses for the same outputs.
 type PairBatch struct {
 	Slave int32
+	Query int32 // producing query id; 0 encodes as the legacy kind
 	Group int32
 	Epoch int64
 	Pairs []OutPair
 }
 
-// Kind implements Message.
-func (*PairBatch) Kind() Kind { return KindPairBatch }
+// Kind implements Message. A batch for query 0 is the legacy PairBatch —
+// byte-identical to the pre-multi-query protocol; any other query id uses
+// the query-tagged kind.
+func (pb *PairBatch) Kind() Kind {
+	if pb.Query != 0 {
+		return KindPairBatchQ
+	}
+	return KindPairBatch
+}
 
 // WireSize implements Message.
 func (pb *PairBatch) WireSize() int64 {
-	return headerSize + 16 + tuple.ResultSize*int64(len(pb.Pairs))
+	n := int64(headerSize + 16 + tuple.ResultSize*int64(len(pb.Pairs)))
+	if pb.Query != 0 {
+		n += 4
+	}
+	return n
+}
+
+// QuerySpec announces one registered query in a QuerySet: its id, prober
+// mode (the join package's Mode value), count-only flag, and downstream
+// sink address ("" when the query has none).
+type QuerySpec struct {
+	Query     int32
+	Prober    uint8
+	CountOnly bool
+	SinkAddr  string
+}
+
+// QuerySet is the master→slave deployment handshake announcing the
+// registered query specs, sent on the control connection before the start
+// batch. A single-query deployment using the legacy configuration fields
+// sends no QuerySet at all, which keeps its wire traffic byte-identical to
+// the pre-multi-query protocol.
+type QuerySet struct {
+	Specs []QuerySpec
+}
+
+// Kind implements Message.
+func (*QuerySet) Kind() Kind { return KindQuerySet }
+
+// WireSize implements Message.
+func (qs *QuerySet) WireSize() int64 {
+	n := int64(headerSize + 4)
+	for _, sp := range qs.Specs {
+		n += 10 + int64(len(sp.SinkAddr))
+	}
+	return n
 }
 
 // --- encoding helpers ---
@@ -300,6 +387,11 @@ func appendU64(b []byte, v uint64) []byte {
 func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
 func appendI64(b []byte, v int64) []byte   { return appendU64(b, uint64(v)) }
 func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
 
 func appendTuple(b []byte, t tuple.Tuple) []byte {
 	b = appendU8(b, uint8(t.Stream))
@@ -384,6 +476,21 @@ func (d *decoder) sliceLen() int {
 		return 0
 	}
 	return int(n)
+}
+
+// str decodes a length-prefixed string. take never preallocates beyond the
+// remaining buffer, so a corrupt length fails as a truncation instead of
+// forcing a giant allocation.
+func (d *decoder) str() string {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := d.take(n)
+	if d.err != nil {
+		return ""
+	}
+	return string(b)
 }
 
 // tupleEncSize is the encoded size of one tuple (stream u8 + key + ts).
@@ -511,6 +618,11 @@ func (st *StateTransfer) decodeFrom(d *decoder) error {
 }
 
 func (pb *PairBatch) appendTo(b []byte) []byte {
+	// The query id precedes the legacy body, and only for the query-tagged
+	// kind (its decode counterpart lives in decodeMessage).
+	if pb.Query != 0 {
+		b = appendI32(b, pb.Query)
+	}
 	b = appendI32(b, pb.Slave)
 	b = appendI32(b, pb.Group)
 	b = appendI64(b, pb.Epoch)
@@ -553,6 +665,11 @@ func (pb *PairBatch) decodeFrom(d *decoder) error {
 }
 
 func (r *ResultBatch) appendTo(b []byte) []byte {
+	// The query id precedes the legacy body, and only for the query-tagged
+	// kind (its decode counterpart lives in decodeMessage).
+	if r.Query != 0 {
+		b = appendI32(b, r.Query)
+	}
 	b = appendI32(b, r.Slave)
 	b = appendI64(b, r.Outputs)
 	b = appendI64(b, r.DelaySumMs)
@@ -572,6 +689,34 @@ func (r *ResultBatch) decodeFrom(d *decoder) error {
 	r.DelayMaxMs = d.i32()
 	for i := range r.Hist {
 		r.Hist[i] = d.i64()
+	}
+	return d.err
+}
+
+func (qs *QuerySet) appendTo(b []byte) []byte {
+	b = appendU32(b, uint32(len(qs.Specs)))
+	for _, sp := range qs.Specs {
+		b = appendI32(b, sp.Query)
+		b = appendU8(b, sp.Prober)
+		b = appendBool(b, sp.CountOnly)
+		b = appendString(b, sp.SinkAddr)
+	}
+	return b
+}
+
+func (qs *QuerySet) decodeFrom(d *decoder) error {
+	n := d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		sp := QuerySpec{
+			Query:     d.i32(),
+			Prober:    d.u8(),
+			CountOnly: d.bool(),
+			SinkAddr:  d.str(),
+		}
+		if d.err != nil {
+			return d.err
+		}
+		qs.Specs = append(qs.Specs, sp)
 	}
 	return d.err
 }
