@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end elastic-membership check: a live TCP cluster scales 2 → 3 → 2
+# while sjoin-collect is attached downstream, with the race detector on.
+#
+#   t≈0s   master starts elastic (-min-slaves 2 -slaves 3); two slaves dial
+#          in with -join and form the cluster
+#   t≈3s   a third slave dials in mid-run; the master admits it and peels
+#          partition-groups toward it at the next reorganization boundary
+#   t≈6s   the first slave gets SIGTERM: a graceful leave — its groups drain
+#          to the survivors through the ordinary state-movement path, then
+#          the master releases it and the process exits cleanly
+#   t≈14s  the run ends; every surviving process shuts down
+#
+# Because both transitions move state losslessly (join rebalance and
+# graceful-leave drain, no crash), the downstream consumer must have seen
+# exactly the master's result summary: collect pair total == master outputs
+# == per-group sum, with zero emission-sequence regressions (seq_dups). The
+# master's membership counters must read 3 joins / 1 leave / 0 evictions,
+# and its log must show the activation and the release.
+#
+# Usage: ci/e2e-elastic.sh            (race detector on; RACE= to disable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RACE="${RACE---race}"
+WORK="$(mktemp -d)"
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build ${RACE:+"$RACE"} -o "$WORK" ./cmd/sjoin-master ./cmd/sjoin-slave ./cmd/sjoin-collect
+
+CTL=127.0.0.1:7440
+RES=127.0.0.1:7441
+SINK=127.0.0.1:7442
+FLAGS=(-slaves 3 -min-slaves 2 -rate 600 -window 3s -td 250ms -tr 2500ms
+       -duration 14s -warmup 1s -theta 32768 -domain 20000 -workers 2)
+
+"$WORK/sjoin-collect" -listen "$SINK" -conns 3 -json "$WORK/collect.json" &
+COLLECT=$!
+"$WORK/sjoin-master" "${FLAGS[@]}" -ctl "$CTL" -results "$RES" \
+  >"$WORK/master.out" 2>"$WORK/master.log" &
+MASTER=$!
+sleep 0.5
+
+# Initial cluster: two slaves join; the master assigns ids 0 and 1 and
+# starts the epoch schedule.
+"$WORK/sjoin-slave" "${FLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVE0=$!
+sleep 0.2   # deterministic id order (0 before 1) keeps the kill target fixed
+"$WORK/sjoin-slave" "${FLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVE1=$!
+
+# Scale out: a third slave dials into the live run (assigned id 2).
+sleep 3
+"$WORK/sjoin-slave" "${FLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVE2=$!
+
+# Scale in: SIGTERM asks slave 0 for a graceful leave; the master drains its
+# groups to the survivors and releases it well before the run ends.
+sleep 3
+kill -TERM "$SLAVE0"
+
+wait "$MASTER"
+wait "$SLAVE0"
+wait "$SLAVE1"
+wait "$SLAVE2"
+wait "$COLLECT"
+
+echo "--- master membership log ---"
+cat "$WORK/master.log"
+echo "--- master summary ---"
+cat "$WORK/master.out"
+
+outputs=$(awk '/^outputs:/{print $2}' "$WORK/master.out")
+membership=$(awk '/^membership:/{print $2, $4, $6}' "$WORK/master.out")
+pairs=$(sed -n 's/^  "pairs": \([0-9][0-9]*\),$/\1/p' "$WORK/collect.json")
+group_sum=$(sed -n '/"groups"/,/}/s/[^:]*: \([0-9][0-9]*\),\{0,1\}$/\1/p' "$WORK/collect.json" |
+  awk '{s+=$1} END {print s+0}')
+seq_dups=$(sed -n 's/^  "seq_dups": \([0-9][0-9]*\)$/\1/p' "$WORK/collect.json")
+echo "e2e-elastic: master outputs=$outputs collect pairs=$pairs per-group sum=$group_sum seq_dups=$seq_dups membership=[$membership]"
+
+# Both membership transitions actually happened...
+grep -q 'membership: activating slave 2' "$WORK/master.log"
+grep -q 'membership: slave 0 left gracefully' "$WORK/master.log"
+test "$membership" = "3 1 0"   # joins leaves evictions
+# ...and the output survived them exactly: no pair lost, none duplicated.
+test -n "$outputs"
+test "$outputs" -gt 0
+test "$outputs" = "$pairs"
+test "$outputs" = "$group_sum"
+test "$seq_dups" = "0"
+echo "e2e-elastic: OK"

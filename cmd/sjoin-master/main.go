@@ -1,16 +1,23 @@
 // Command sjoin-master hosts the master node, the collector and the
 // synthetic stream sources of a TCP cluster deployment. Start it first, then
-// one sjoin-slave per slave ID with identical system flags (the shared flag
-// surface includes -workers, which only slave processes act on; see the
-// flag-reference table in README.md).
+// one sjoin-slave per slave with identical system flags (the shared flag
+// surface includes -workers, which only slave processes act on; see
+// OPERATIONS.md for the full flag reference).
 //
-//	sjoin-master -ctl :7400 -results :7401 -slaves 2 \
+// With -min-slaves 0 (the default) the topology is fixed: exactly -slaves
+// registrations, then a synchronized start. With -min-slaves N > 0 the
+// cluster is elastic: the run starts once N slaves have joined, and slaves
+// may join (up to -slaves), leave gracefully, or crash mid-run — every
+// membership transition is logged to stderr.
+//
+//	sjoin-master -ctl :7400 -results :7401 -slaves 4 -min-slaves 2 \
 //	    -rate 800 -window 5s -td 250ms -tr 2500ms -duration 15s -warmup 5s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"time"
@@ -27,9 +34,18 @@ func main() {
 	fs.Parse(os.Args[1:])
 	cfg := getConfig()
 
-	fmt.Printf("sjoin-master: waiting for %d slaves on %s (results on %s)\n",
-		cfg.Slaves, *ctl, *res)
-	r, err := core.ServeMasterTCP(cfg, *ctl, *res)
+	var r *core.Result
+	var err error
+	if cfg.MinSlaves > 0 {
+		fmt.Printf("sjoin-master: elastic, waiting for %d of up to %d slaves on %s (results on %s)\n",
+			cfg.MinSlaves, cfg.Slaves, *ctl, *res)
+		logger := log.New(os.Stderr, "sjoin-master: ", log.Lmicroseconds)
+		r, err = core.ServeMasterElastic(cfg, *ctl, *res, logger.Printf)
+	} else {
+		fmt.Printf("sjoin-master: waiting for %d slaves on %s (results on %s)\n",
+			cfg.Slaves, *ctl, *res)
+		r, err = core.ServeMasterTCP(cfg, *ctl, *res)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sjoin-master:", err)
 		os.Exit(1)
@@ -52,4 +68,10 @@ func main() {
 	fmt.Printf("epochs served:  %d\n", r.EpochsServed)
 	fmt.Printf("movements:      %d completed\n", r.MovesCompleted)
 	fmt.Printf("master comm:    %v\n", r.Master.Comm.Round(time.Millisecond))
+	if cfg.MinSlaves > 0 {
+		fmt.Printf("membership:     %d joins, %d leaves, %d evictions\n",
+			r.Joins, r.Leaves, r.Evictions)
+		fmt.Printf("rebalanced:     %d groups (%dms cumulative stall)\n",
+			r.GroupsRebalanced, r.RebalanceStallMs)
+	}
 }

@@ -95,6 +95,9 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		wbatch   = fs.Int("wire-batch", def.WireBatchBytes, "batched wire framing threshold in bytes (0 = one frame per message)")
 		wflush   = fs.Duration("wire-flush", time.Duration(def.WireFlushMs)*time.Millisecond, "max time a buffered result frame may wait before flushing")
 		workers  = fs.Int("workers", def.Workers, "join workers per live slave over disjoint partition-groups (0 = one per CPU core)")
+		minsl    = fs.Int("min-slaves", def.MinSlaves, "elastic membership: start once this many slaves joined, admit up to -slaves (0 = fixed topology)")
+		hbint    = fs.Duration("heartbeat", time.Duration(def.HeartbeatMs)*time.Millisecond, "elastic membership: slave heartbeat interval")
+		hbmiss   = fs.Int("heartbeat-misses", def.HeartbeatMisses, "elastic membership: consecutive missed heartbeats before a slave is declared dead")
 	)
 	prober := def.LiveProber
 	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
@@ -156,6 +159,9 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.WireBatchBytes = *wbatch
 		cfg.WireFlushMs = int32(*wflush / time.Millisecond)
 		cfg.Workers = *workers
+		cfg.MinSlaves = *minsl
+		cfg.HeartbeatMs = int32(*hbint / time.Millisecond)
+		cfg.HeartbeatMisses = *hbmiss
 		return cfg
 	}
 }

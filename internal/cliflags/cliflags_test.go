@@ -54,6 +54,25 @@ func TestFlagOverrides(t *testing.T) {
 	}
 }
 
+func TestElasticFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	get := Bind(fs)
+	args := []string{
+		"-slaves", "4", "-min-slaves", "2",
+		"-heartbeat", "250ms", "-heartbeat-misses", "5",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg := get()
+	if cfg.MinSlaves != 2 || cfg.HeartbeatMs != 250 || cfg.HeartbeatMisses != 5 {
+		t.Fatalf("elastic flags not applied: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSinkFlag(t *testing.T) {
 	parse := func(args ...string) (core.Config, error) {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)

@@ -27,6 +27,8 @@ type Tally struct {
 	perGroup map[int32]int64
 	perSlave map[int32]int64
 	perQuery map[int32]int64
+	lastSeq  map[uint64]int64
+	seqDups  int64
 	onBatch  func(*wire.PairBatch)
 }
 
@@ -38,6 +40,7 @@ func New(onBatch func(*wire.PairBatch)) *Tally {
 		perGroup: make(map[int32]int64),
 		perSlave: make(map[int32]int64),
 		perQuery: make(map[int32]int64),
+		lastSeq:  make(map[uint64]int64),
 		onBatch:  onBatch,
 	}
 }
@@ -76,6 +79,20 @@ func (t *Tally) fold(pb *wire.PairBatch, bytes int64) {
 	t.perGroup[pb.Group] += int64(len(pb.Pairs))
 	t.perSlave[pb.Slave] += int64(len(pb.Pairs))
 	t.perQuery[pb.Query] += int64(len(pb.Pairs))
+	// Emission-sequence check: the producing sink stamps a strictly
+	// increasing sequence number into Epoch, so within one (slave, group)
+	// stream a regression means a replayed batch (equal values are fine — a
+	// large emission splits into chunks sharing one number). On an elastic
+	// cluster this flags re-delivery after membership churn; a slave id
+	// reused after an eviction restarts its sequence and is surfaced the
+	// same way. The main tallies still include the batch — SeqDups is the
+	// operator's dedup signal, not a filter.
+	key := uint64(uint32(pb.Slave))<<32 | uint64(uint32(pb.Group))
+	if last, ok := t.lastSeq[key]; ok && pb.Epoch < last {
+		t.seqDups++
+	} else {
+		t.lastSeq[key] = pb.Epoch
+	}
 	if t.onBatch != nil {
 		t.onBatch(pb)
 	}
@@ -94,6 +111,10 @@ type Summary struct {
 	// Queries splits the pair count by producing query id (single-query
 	// producers tally everything under "0").
 	Queries map[string]int64 `json:"queries"`
+	// SeqDups counts batches whose emission sequence regressed within a
+	// (slave, group) stream — replayed output an operator should subtract
+	// (or investigate) rather than double-count. Zero on a healthy run.
+	SeqDups int64 `json:"seq_dups"`
 }
 
 // Snapshot copies the tally into a Summary, deriving the receive rate over
@@ -109,6 +130,7 @@ func (t *Tally) Snapshot(elapsed time.Duration) Summary {
 		Groups:  make(map[string]int64, len(t.perGroup)),
 		Slaves:  make(map[string]int64, len(t.perSlave)),
 		Queries: make(map[string]int64, len(t.perQuery)),
+		SeqDups: t.seqDups,
 	}
 	if s.Seconds > 0 {
 		s.PairsPerSec = float64(t.pairs) / s.Seconds
@@ -145,6 +167,14 @@ func (t *Tally) PerGroup() map[int32]int64 {
 		out[g] = n
 	}
 	return out
+}
+
+// SeqDups reports the number of batches whose emission sequence regressed
+// (see Summary.SeqDups).
+func (t *Tally) SeqDups() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seqDups
 }
 
 // Pairs reports the total pairs received.

@@ -69,6 +69,36 @@ func TestTallyConsume(t *testing.T) {
 	}
 }
 
+func TestTallySeqDups(t *testing.T) {
+	seq := func(slave, group int32, epoch int64) *wire.PairBatch {
+		b := pb(slave, group, 1)
+		b.Epoch = epoch
+		return b
+	}
+	tally := New(nil)
+	if err := tally.Consume(frames(t,
+		seq(0, 3, 1), // first sighting
+		seq(0, 3, 2), // advance: fine
+		seq(0, 3, 2), // equal: a chunk-split emission, not a dup
+		seq(0, 4, 1), // other group, independent stream
+		seq(1, 3, 1), // other slave, independent stream
+		seq(0, 3, 1), // regression: replayed batch
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.SeqDups(); got != 1 {
+		t.Fatalf("seq dups = %d, want 1", got)
+	}
+	// The replayed batch still counts in the main tallies (SeqDups is a
+	// diagnostic, not a filter).
+	if got := tally.Pairs(); got != 6 {
+		t.Fatalf("pairs = %d, want 6", got)
+	}
+	if sum := tally.Snapshot(time.Second); sum.SeqDups != 1 {
+		t.Fatalf("summary seq_dups = %d, want 1", sum.SeqDups)
+	}
+}
+
 func TestTallyRejectsForeignMessages(t *testing.T) {
 	tally := New(nil)
 	err := tally.Consume(frames(t, pb(0, 1, 2), &wire.Hello{Slave: 1}))

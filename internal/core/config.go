@@ -206,6 +206,24 @@ type Config struct {
 	// reorganization boundaries and shutdown always flush). Ignored when
 	// WireBatchBytes is 0.
 	WireFlushMs int32
+
+	// --- elastic membership (TCP deployment only) ---
+
+	// MinSlaves, when > 0, selects the elastic master (ServeMasterElastic):
+	// instead of a fixed roster of exactly Slaves connections, the master
+	// accepts joining slaves at any time, starts the epoch schedule once
+	// MinSlaves have dialed in, and keeps admitting newcomers up to the
+	// Slaves capacity while the join runs. 0 keeps the fixed topology.
+	MinSlaves int
+	// HeartbeatMs is the interval of the elastic heartbeat: every joined
+	// slave opens a second control connection and pings the master at this
+	// period. Default 500 ms.
+	HeartbeatMs int32
+	// HeartbeatMisses is the failure-detection budget: a slave whose last
+	// heartbeat is older than HeartbeatMisses×HeartbeatMs is declared dead,
+	// its groups are re-adopted empty by the survivors, and the run
+	// continues without it. Default 3.
+	HeartbeatMisses int
 }
 
 // DefaultConfig returns the paper's Table I defaults on the calibrated
@@ -241,6 +259,8 @@ func DefaultConfig() Config {
 		LiveProber:         join.ModeHash,
 		WireBatchBytes:     32 << 10,
 		WireFlushMs:        500,
+		HeartbeatMs:        500,
+		HeartbeatMisses:    3,
 	}
 }
 
@@ -287,6 +307,13 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: WireBatchBytes = %d, want [0, %d]", c.WireBatchBytes, wire.MaxFrameBytes)
 	case c.WireFlushMs < 0:
 		return fmt.Errorf("core: WireFlushMs = %d", c.WireFlushMs)
+	case c.MinSlaves < 0 || c.MinSlaves > c.Slaves:
+		return fmt.Errorf("core: MinSlaves = %d of %d slaves", c.MinSlaves, c.Slaves)
+	case c.MinSlaves > 0 && c.SubGroups != 1:
+		return fmt.Errorf("core: elastic membership (MinSlaves > 0) requires SubGroups = 1, got %d", c.SubGroups)
+	case c.MinSlaves > 0 && (c.HeartbeatMs <= 0 || c.HeartbeatMisses < 1):
+		return fmt.Errorf("core: elastic membership needs HeartbeatMs > 0 and HeartbeatMisses >= 1, got %d/%d",
+			c.HeartbeatMs, c.HeartbeatMisses)
 	case c.CountOnly && c.Sink != nil:
 		return fmt.Errorf("core: CountOnly skips materialization, so Sink would never fire")
 	case c.SinkAddr != "" && c.CountOnly:

@@ -37,6 +37,13 @@ const startEpoch = int64(-1)
 // connections on ctlAddr and result connections on resAddr. It returns the
 // run's Result after cfg.DurationMs of wall time plus shutdown.
 func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
+	return serveMasterTCP(cfg, ctlAddr, resAddr, nil)
+}
+
+// serveMasterTCP is ServeMasterTCP with an ingestor seam: a non-nil ing
+// replaces the synthetic source goroutines (tests feed a finite, known
+// workload through it).
+func serveMasterTCP(cfg Config, ctlAddr, resAddr string, ing Ingestor) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,11 +141,14 @@ func ServeMasterTCP(cfg Config, ctlAddr, resAddr string) (*Result, error) {
 	}
 
 	var masterStop, collStop atomic.Bool
-	ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
 	var feedStop atomic.Bool
-	go feedSources(env, &cfg, ingest.ch, &feedStop)
+	if ing == nil {
+		ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
+		go feedSources(env, &cfg, ingest.ch, &feedStop)
+		ing = ingest
+	}
 
-	master := newMaster(&cfg, masterP, conns, ingest, masterStop.Load)
+	master := newMaster(&cfg, masterP, conns, ing, masterStop.Load)
 	collector := newCollector(collP, inbox, collStop.Load)
 	collDone := make(chan struct{})
 	go func() { defer close(collDone); collector.run() }()

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"sort"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/wire"
+)
+
+// This file is the master half of elastic cluster membership: slaves join,
+// leave, and fail while the join runs. The paper's cluster is fixed for the
+// length of an experiment; its follow-up ("Processing Database Joins over a
+// Shared-Nothing System of Multicore Machines", PAPERS.md) treats node-set
+// change as the normal case and reuses the same partition-movement primitive
+// for it. We do the same: every membership transition is expressed as
+// ordinary state movements (wire.Directive + wire.StateTransfer through the
+// slaves' workerSets), so the join-correctness argument of §IV-C carries
+// over unchanged — the only new mechanics are the roster itself
+// (wire.Membership), the failure detector (wire.Ping/Pong heartbeats), and
+// the empty-state adoption used when a crashed slave's windows are
+// unrecoverable.
+
+// Event kinds delivered to the master's membership queue.
+const (
+	evJoin = iota
+	evDeath
+	evLeave
+)
+
+// joinEpoch is the sentinel Epoch a joining slave sends in its first Hello
+// (Slave: -1) to distinguish the elastic handshake from the fixed-topology
+// registration (which uses startEpoch).
+const joinEpoch = int64(-2)
+
+// memberEvent is one membership transition, queued by the deploy layer
+// (acceptor, heartbeat monitor) and drained by the master at epoch
+// boundaries so all roster mutation happens on the master goroutine.
+type memberEvent struct {
+	kind    int
+	conn    engine.Conn // join: the wrapped control connection
+	close   func()      // join: closes the raw connection (rejection, death)
+	addr    string      // join: advertised mesh address
+	workers int32       // join: announced worker count
+	slave   int32       // death/leave: the subject slave
+	reason  string      // death: human-readable cause
+}
+
+// logf emits a membership log line when the deploy layer installed a logger.
+func (m *masterNode) logf(format string, args ...any) {
+	if m.logfn != nil {
+		m.logfn(format, args...)
+	}
+}
+
+// memberCount is the current roster size: joined, not dead, not released.
+func (m *masterNode) memberCount() int {
+	n := 0
+	for i := range m.joined {
+		if m.joined[i] && !m.dead[i] && !m.shutdownSent[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// membershipFor builds the roster announcement for slave id.
+func (m *masterNode) membershipFor(id int32) *wire.Membership {
+	ms := &wire.Membership{Epoch: m.memEpoch, Self: id}
+	for i := 0; i < m.cfg.Slaves; i++ {
+		if m.joined[i] && !m.dead[i] && !m.shutdownSent[i] {
+			ms.Slaves = append(ms.Slaves, m.members[i])
+		}
+	}
+	return ms
+}
+
+// querySet returns the cluster's query registration message, or nil for the
+// legacy single-query configuration.
+func (m *masterNode) querySet() *wire.QuerySet {
+	if len(m.cfg.Queries) == 0 {
+		return nil
+	}
+	if m.qset == nil {
+		qs := &wire.QuerySet{Specs: make([]wire.QuerySpec, len(m.cfg.Queries))}
+		for i, q := range m.cfg.Queries {
+			qs.Specs[i] = wire.QuerySpec{
+				Query:     q.ID,
+				Prober:    uint8(q.Prober),
+				CountOnly: q.CountOnly,
+				SinkAddr:  q.SinkAddr,
+			}
+		}
+		m.qset = qs
+	}
+	return m.qset
+}
+
+// drainEvents applies queued membership transitions at the top of epoch e.
+// Joins arriving while the run is shutting down are turned away.
+func (m *masterNode) drainEvents(e int64, stopping bool) {
+	if m.events == nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-m.events:
+			switch ev.kind {
+			case evJoin:
+				if stopping {
+					m.logf("membership: join rejected at epoch %d: run is shutting down", e)
+					if ev.close != nil {
+						ev.close()
+					}
+					continue
+				}
+				m.admit(ev, e)
+			case evDeath:
+				m.handleDeath(ev.slave, ev.reason)
+			case evLeave:
+				m.requestLeave(ev.slave)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// slotClean reports whether slave i holds no groups and no movement touches
+// it — the condition for releasing a leaver and for recycling a dead slot.
+func (m *masterNode) slotClean(i int32) bool {
+	if len(m.pendDir[i]) > 0 || m.pendAct[i] || m.pendDeact[i] {
+		return false
+	}
+	for _, mi := range m.inflight {
+		if mi.from == i || mi.to == i {
+			return false
+		}
+	}
+	for _, owner := range m.groupOwner {
+		if owner == i {
+			return false
+		}
+	}
+	return true
+}
+
+// admit registers a joining slave: assign it the lowest free slot (or a
+// fully-drained dead slot), stamp its first participating epoch — the
+// reorganization boundary after e, where elasticReorg activates it and peels
+// groups toward it — and run the handshake on its new control connection:
+// Membership (assigning its ID), the query registration if any, and the
+// anchor Batch that defines its local epoch clock. At initial cluster
+// formation (e == startEpoch) the first MinSlaves joiners are admitted
+// active at epoch 0 instead.
+func (m *masterNode) admit(ev memberEvent, e int64) {
+	id := int32(-1)
+	for i := 0; i < m.cfg.Slaves; i++ {
+		if !m.joined[i] && m.conn[i] == nil {
+			id = int32(i)
+			break
+		}
+	}
+	if id < 0 {
+		for i := 0; i < m.cfg.Slaves; i++ {
+			if m.dead[i] && m.slotClean(int32(i)) {
+				id = int32(i)
+				break
+			}
+		}
+	}
+	if id < 0 {
+		m.logf("membership: join from %s rejected: cluster at capacity (%d slaves)", ev.addr, m.cfg.Slaves)
+		if ev.close != nil {
+			ev.close()
+		}
+		return
+	}
+
+	initial := e == startEpoch
+	m.conn[id] = ev.conn
+	m.joined[id] = true
+	m.dead[id] = false
+	m.shutdownSent[id] = false
+	m.leaveReq[id] = false
+	m.haveOcc[id] = false
+	m.members[id] = wire.MemberSpec{ID: id, Addr: ev.addr, Workers: ev.workers}
+	if initial {
+		m.firstEpoch[id] = 0
+	} else {
+		m.active[id] = false
+		K := m.cfg.epochsPerReorg()
+		m.firstEpoch[id] = (e/K + 1) * K
+	}
+	m.memEpoch++
+	m.joins++
+	if m.onAdmit != nil {
+		m.onAdmit(id, ev.close)
+	}
+	m.logf("membership: slave %d joined (mesh %s, %d workers), first epoch %d, roster %d/%d",
+		id, ev.addr, ev.workers, m.firstEpoch[id], m.memberCount(), m.cfg.Slaves)
+
+	ev.conn.Send(m.membershipFor(id))
+	m.lastMem[id] = m.memEpoch
+	if qs := m.querySet(); qs != nil {
+		ev.conn.Send(qs)
+	}
+	anchor := &wire.Batch{Epoch: e}
+	if initial && m.active[id] {
+		anchor.Activate = true
+	}
+	ev.conn.Send(anchor)
+}
+
+// requestLeave marks a slave as gracefully leaving: the next reorganization
+// drains its groups to the survivors; once every move is acknowledged, its
+// next poll batch carries Shutdown and it exits cleanly.
+func (m *masterNode) requestLeave(i int32) {
+	if i < 0 || int(i) >= m.cfg.Slaves || !m.joined[i] || m.dead[i] || m.shutdownSent[i] || m.leaveReq[i] {
+		return
+	}
+	m.leaveReq[i] = true
+	m.logf("membership: slave %d requested graceful leave", i)
+}
+
+// handleDeath evicts slave i after a crash (transport failure or heartbeat
+// timeout). Its window contents are gone with the node, so every group it
+// owned is re-adopted empty by a survivor (a From: -1 directive installing a
+// fresh group); in-flight movements touching it are unwound:
+//
+//   - consumer dead, directive not yet delivered to the supplier: the move
+//     is cancelled and the group stays (intact) with the supplier;
+//   - consumer dead, state already extracted toward it: the state is lost in
+//     transit, so the group is re-adopted empty like the owned ones;
+//   - supplier dead: the consumer's mesh read fails over to an empty
+//     install and it acks normally, so the move completes by itself.
+func (m *masterNode) handleDeath(i int32, reason string) {
+	if i < 0 || int(i) >= m.cfg.Slaves || !m.joined[i] || m.dead[i] || m.shutdownSent[i] {
+		return
+	}
+	m.dead[i] = true
+	m.active[i] = false
+	m.shutdownSent[i] = true // nothing further will be sent on its conn
+	m.pendAct[i], m.pendDeact[i], m.leaveReq[i] = false, false, false
+	m.haveOcc[i] = false
+	m.pendDir[i] = nil
+	m.members[i] = wire.MemberSpec{}
+	m.memEpoch++
+	m.evictions++
+
+	dropped := 0
+	for id, mi := range m.inflight {
+		if mi.to != i {
+			continue
+		}
+		if m.dropPend(mi.from, id) {
+			// The supplier never saw the directive: cancel the move, the
+			// group stays where it is.
+			m.groupOwner[mi.group] = mi.from
+		} else {
+			// The state is in flight toward the dead consumer: lost. Mark
+			// the group as the dead slave's so the adoption pass below
+			// re-creates it empty on a survivor.
+			m.groupOwner[mi.group] = i
+		}
+		delete(m.heldGroup, mi.group)
+		delete(m.inflight, id)
+		delete(m.memMoves, id)
+		dropped++
+	}
+
+	adopted := 0
+	var targets []int32
+	for k := 0; k < m.cfg.Slaves; k++ {
+		id := int32(k)
+		if m.active[k] && !m.dead[k] && !m.leaveReq[k] && !m.shutdownSent[k] {
+			targets = append(targets, id)
+		}
+	}
+	for g, owner := range m.groupOwner {
+		if owner != i || m.heldGroup[int32(g)] {
+			continue
+		}
+		if len(targets) == 0 {
+			m.logf("membership: no live slave can adopt group %d of dead slave %d", g, i)
+			continue
+		}
+		m.issueAdopt(int32(g), targets[adopted%len(targets)])
+		adopted++
+	}
+	m.logf("membership: slave %d dead (%s): %d groups re-adopted empty, %d in-flight moves unwound, roster %d/%d",
+		i, reason, adopted, dropped, m.memberCount(), m.cfg.Slaves)
+}
+
+// dropPend removes the directive with the given move id from slave i's
+// undelivered queue, reporting whether it was still there.
+func (m *masterNode) dropPend(i int32, id int64) bool {
+	if i < 0 || int(i) >= m.cfg.Slaves {
+		return false
+	}
+	for k, d := range m.pendDir[i] {
+		if d.MoveID == id {
+			m.pendDir[i] = append(m.pendDir[i][:k], m.pendDir[i][k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// issueAdopt directs slave `to` to create group g empty (From: -1 — there
+// is no supplier to read state from). Ownership transfers on its ack like
+// any other movement.
+func (m *masterNode) issueAdopt(g, to int32) {
+	d := wire.Directive{MoveID: m.nextMove, Group: g, From: -1, To: to}
+	m.nextMove++
+	m.pendDir[to] = append(m.pendDir[to], d)
+	m.heldGroup[g] = true
+	m.inflight[d.MoveID] = moveInfo{id: d.MoveID, group: g, from: -1, to: to}
+	m.movesIssued++
+	m.trackMove(d.MoveID)
+}
+
+// trackMove marks the most recent movement as membership-driven: it counts
+// toward GroupsRebalanced and its ack latency toward RebalanceStallMs.
+func (m *masterNode) trackMove(id int64) {
+	m.memMoves[id] = m.proc.Now()
+	m.groupsMoved++
+}
+
+// elasticReorg runs the membership half of a reorganization boundary:
+// graceful leavers drain their groups to the survivors, and joiners whose
+// first epoch is e+1 are activated with an incoming rebalance — partition
+// groups peeled off the loaded owners (heaviest reported occupancy first,
+// round-robin, never emptying an owner) until the newcomer holds roughly a
+// 1/(n+1) share. Every slave it touches is marked busy so the occupancy
+// pairing of reorganize leaves it alone this boundary.
+func (m *masterNode) elasticReorg(e int64, busy map[int32]bool) {
+	for i := 0; i < m.cfg.Slaves; i++ {
+		id := int32(i)
+		if m.leaveReq[i] && m.active[i] && !busy[id] {
+			if m.drainSlave(id, busy, true) {
+				busy[id] = true
+				m.logf("membership: draining slave %d for graceful leave at epoch %d", id, e)
+			}
+		}
+	}
+
+	for j := 0; j < m.cfg.Slaves; j++ {
+		jd := int32(j)
+		if !m.joined[j] || m.dead[j] || m.active[j] || m.pendAct[j] ||
+			m.leaveReq[j] || m.shutdownSent[j] || busy[jd] || m.firstEpoch[j] > e+1 {
+			continue
+		}
+		m.pendAct[j] = true
+		busy[jd] = true
+
+		// Peel toward an equal share from the heaviest owners.
+		share := m.cfg.NumGroups() / (m.activeCount() + 1)
+		var donors []rebalanceDonor
+		for k := 0; k < m.cfg.Slaves; k++ {
+			id := int32(k)
+			if !m.active[k] || busy[id] || m.leaveReq[k] || m.dead[k] {
+				continue
+			}
+			if free := m.freeGroupsOf(id); len(free) > 0 {
+				donors = append(donors, rebalanceDonor{id: id, free: free})
+			}
+		}
+		// Heaviest reported occupancy first; larger free-group count, then
+		// slave id, break ties deterministically.
+		sort.SliceStable(donors, func(a, b int) bool {
+			da, db := donors[a], donors[b]
+			if m.occ[da.id] != m.occ[db.id] {
+				return m.occ[da.id] > m.occ[db.id]
+			}
+			if len(da.free) != len(db.free) {
+				return len(da.free) > len(db.free)
+			}
+			return da.id < db.id
+		})
+		moved := 0
+		for moved < share {
+			progress := false
+			for d := range donors {
+				if moved >= share {
+					break
+				}
+				dn := &donors[d]
+				if len(dn.free) <= 1 {
+					continue // never empty a donor
+				}
+				k := m.rng.IntN(len(dn.free))
+				g := dn.free[k]
+				dn.free = append(dn.free[:k], dn.free[k+1:]...)
+				m.issueMove(g, dn.id, jd)
+				m.trackMove(m.nextMove - 1)
+				busy[dn.id] = true
+				moved++
+				progress = true
+			}
+			if !progress {
+				break
+			}
+		}
+		m.logf("membership: activating slave %d at epoch %d, rebalancing %d groups toward it", jd, e+1, moved)
+	}
+}
+
+// rebalanceDonor is an active slave a join rebalance can peel groups from.
+type rebalanceDonor struct {
+	id   int32
+	free []int32
+}

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// This file deploys the elastic cluster over TCP. Unlike the fixed topology
+// of deploy.go — exactly Slaves registrations, then a synchronized start —
+// the elastic master accepts connections for the whole run:
+//
+//   - a joining slave dials the control address and sends
+//     Hello{Slave: -1, Epoch: joinEpoch} followed by a one-entry Membership
+//     announcing its mesh address and worker count. The master replies on
+//     the same connection with the roster (assigning the slave its ID), the
+//     query registration if any, and an anchor Batch whose epoch defines
+//     the joiner's local clock;
+//   - every joined slave opens a second control connection for heartbeats:
+//     wire.Ping each HeartbeatMs, answered with wire.Pong. Silence beyond
+//     HeartbeatMisses intervals evicts the slave (heartbeatMonitor);
+//   - the mesh is grown incrementally: a joiner dials every slave already
+//     in the roster (identifying with a Hello) and accepts dials from
+//     slaves that join later, so each pair is connected exactly once.
+//
+// The run starts once MinSlaves slaves have been admitted and keeps going
+// through joins, graceful leaves (Ping.Leave), and crashes.
+
+// ServeMasterElastic runs the elastic master and collector: it forms the
+// initial cluster from the first cfg.MinSlaves joiners, then serves an
+// open-membership run for cfg.DurationMs. logf, when non-nil, receives a
+// line for every membership transition.
+func ServeMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(format string, args ...any)) (*Result, error) {
+	return serveMasterElastic(cfg, ctlAddr, resAddr, logf, nil)
+}
+
+func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, ...any), ing Ingestor) (*Result, error) {
+	if cfg.MinSlaves < 1 {
+		return nil, fmt.Errorf("core: elastic master needs MinSlaves >= 1 (use ServeMasterTCP for a fixed topology)")
+	}
+	cfg.InitialActive = cfg.MinSlaves
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Mode = cfg.LiveProber
+	cfg.Expiry = join.ExpiryBlocks
+
+	ctlLn, err := net.Listen("tcp", ctlAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctlLn.Close()
+	resLn, err := net.Listen("tcp", resAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer resLn.Close()
+
+	env := engine.NewLiveEnv()
+	masterP := env.NewProc("master")
+	collP := env.NewProc("collector")
+	inbox := engine.NewLiveInbox(collP, 1<<14)
+	async := engine.NewLiveAsyncSender(collP, inbox)
+
+	// Result connections arrive whenever a slave joins; accept for the whole
+	// run. Each reader drains one slave's result stream into the collector
+	// inbox and ends when the slave closes (or crashes) the connection.
+	var resReaders sync.WaitGroup
+	go func() {
+		for {
+			c, err := resLn.Accept()
+			if err != nil {
+				return
+			}
+			resReaders.Add(1)
+			go func(c net.Conn) {
+				defer resReaders.Done()
+				defer c.Close()
+				defer func() { recover() }() // connection teardown
+				rc := engine.WrapTCP(collP, c)
+				for {
+					async.SendAsync(rc.Recv())
+				}
+			}(c)
+		}
+	}()
+
+	// Membership events flow to the master through a queue it drains at
+	// epoch boundaries. conns is a registry of raw connections by slave id
+	// so the failure detector can sever a dead slave's links — closing the
+	// control connection fails any master Recv blocked on it over.
+	events := make(chan memberEvent, 256)
+	postEvent := func(ev memberEvent) {
+		select {
+		case events <- ev:
+		default: // queue full: drop (death/leave events are re-detectable)
+		}
+	}
+	var conns struct {
+		sync.Mutex
+		ctl map[int32]func()
+		hb  map[int32]func()
+	}
+	conns.ctl = make(map[int32]func())
+	conns.hb = make(map[int32]func())
+	sever := func(id int32) {
+		conns.Lock()
+		defer conns.Unlock()
+		if cl := conns.ctl[id]; cl != nil {
+			cl()
+		}
+		if cl := conns.hb[id]; cl != nil {
+			cl()
+		}
+	}
+
+	hb := newHeartbeatMonitor(
+		time.Duration(cfg.HeartbeatMs)*time.Millisecond,
+		cfg.HeartbeatMisses,
+		env.Now,
+		func(id int32) {
+			postEvent(memberEvent{kind: evDeath, slave: id, reason: "heartbeat timeout"})
+			sever(id)
+		})
+
+	// Control acceptor: classify each connection by its first message — a
+	// join handshake or a heartbeat stream.
+	go func() {
+		for {
+			c, err := ctlLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { recover() }() // torn-down handshake
+				ec := engine.WrapTCPBatched(masterP, c, cfg.WireBatchBytes)
+				switch first := ec.Recv().(type) {
+				case *wire.Hello:
+					if first.Slave != -1 || first.Epoch != joinEpoch {
+						c.Close()
+						return
+					}
+					ann, ok := ec.Recv().(*wire.Membership)
+					if !ok || len(ann.Slaves) != 1 {
+						c.Close()
+						return
+					}
+					select {
+					case events <- memberEvent{
+						kind:    evJoin,
+						conn:    ec,
+						close:   func() { c.Close() },
+						addr:    ann.Slaves[0].Addr,
+						workers: ann.Slaves[0].Workers,
+					}:
+					case <-time.After(30 * time.Second):
+						c.Close()
+					}
+				case *wire.Ping:
+					id := first.Slave
+					if id < 0 || int(id) >= cfg.Slaves {
+						c.Close()
+						return
+					}
+					conns.Lock()
+					conns.hb[id] = func() { c.Close() }
+					conns.Unlock()
+					hb.reset(id)
+					defer c.Close()
+					msg := first
+					leaveSent := false
+					for {
+						hb.observe(id)
+						if msg.Leave && !leaveSent {
+							leaveSent = true
+							postEvent(memberEvent{kind: evLeave, slave: id})
+						}
+						ec.Send(&wire.Pong{Slave: id, Seq: msg.Seq})
+						next, ok := ec.Recv().(*wire.Ping)
+						if !ok {
+							return
+						}
+						msg = next
+					}
+				default:
+					c.Close()
+				}
+			}(c)
+		}
+	}()
+
+	var masterStop, collStop, feedStop atomic.Bool
+	if ing == nil {
+		ingest := &liveIngestor{ch: make(chan tuple.Tuple, 1<<16)}
+		go feedSources(env, &cfg, ingest.ch, &feedStop)
+		ing = ingest
+	}
+
+	master := newMaster(&cfg, masterP, make([]engine.Conn, cfg.Slaves), ing, masterStop.Load)
+	master.elastic = true
+	for i := range master.joined {
+		master.joined[i] = false
+	}
+	master.events = events
+	master.logfn = logf
+	master.onAdmit = func(id int32, closeCtl func()) {
+		conns.Lock()
+		conns.ctl[id] = closeCtl
+		conns.Unlock()
+	}
+
+	// Cluster formation: admit the first MinSlaves joiners; they start
+	// active at epoch 0.
+	formTimeout := time.After(2 * time.Minute)
+	for admitted := 0; admitted < cfg.MinSlaves; {
+		select {
+		case ev := <-events:
+			if ev.kind != evJoin {
+				continue // pre-run deaths surface again at the first serve
+			}
+			master.admit(ev, startEpoch)
+			admitted++
+		case <-formTimeout:
+			return nil, fmt.Errorf("core: elastic cluster formation timed out waiting for %d slaves", cfg.MinSlaves)
+		}
+	}
+	master.logf("membership: cluster formed with %d of %d slaves, epoch schedule starting", cfg.MinSlaves, cfg.Slaves)
+
+	// Periodic failure detection at half the heartbeat interval, so the
+	// worst-case declaration latency is budget + interval/2.
+	monStop := make(chan struct{})
+	var monDone sync.WaitGroup
+	monDone.Add(1)
+	go func() {
+		defer monDone.Done()
+		t := time.NewTicker(time.Duration(cfg.HeartbeatMs) * time.Millisecond / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-monStop:
+				return
+			case <-t.C:
+				hb.check()
+			}
+		}
+	}()
+
+	collector := newCollector(collP, inbox, collStop.Load)
+	collDone := make(chan struct{})
+	go func() { defer close(collDone); collector.run() }()
+
+	errCh := make(chan error, 1)
+	masterDone := make(chan struct{})
+	go func() {
+		defer close(masterDone)
+		defer func() {
+			if r := recover(); r != nil {
+				errCh <- fmt.Errorf("core: master failed: %v", r)
+			}
+		}()
+		master.run()
+	}()
+
+	time.Sleep(time.Duration(cfg.DurationMs) * time.Millisecond)
+	masterStop.Store(true)
+	feedStop.Store(true)
+	select {
+	case <-masterDone:
+	case err := <-errCh:
+		return nil, err
+	case <-time.After(time.Duration(cfg.DurationMs)*time.Millisecond + 30*time.Second):
+		return nil, fmt.Errorf("core: elastic cluster did not shut down")
+	}
+	close(monStop)
+	monDone.Wait()
+	ctlLn.Close()
+	conns.Lock()
+	for _, cl := range conns.ctl {
+		if cl != nil {
+			cl()
+		}
+	}
+	for _, cl := range conns.hb {
+		if cl != nil {
+			cl()
+		}
+	}
+	conns.Unlock()
+	resLn.Close()
+	readersDone := make(chan struct{})
+	go func() { resReaders.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-time.After(10 * time.Second): // a wedged slave must not hang the run
+	}
+	collStop.Store(true)
+	<-collDone
+
+	res := &Result{
+		Config:             cfg,
+		MeasuredMs:         cfg.DurationMs,
+		Master:             masterP.Stats(),
+		Slaves:             make([]engine.Stats, cfg.Slaves),
+		SlaveWindowBytes:   make([]int64, cfg.Slaves),
+		SlaveActive:        append([]bool(nil), master.active...),
+		DoDTrace:           master.dodTrace,
+		MovesIssued:        master.movesIssued,
+		MovesCompleted:     master.movesDone,
+		MasterPeakBufBytes: master.peakBuf,
+		EpochsServed:       master.epochsServed,
+		Joins:              master.joins,
+		Leaves:             master.leaves,
+		Evictions:          master.evictions,
+		GroupsRebalanced:   master.groupsMoved,
+		RebalanceStallMs:   master.rebalStallMs,
+	}
+	res.Delay, res.DelayBySlave, res.DelayByQuery = collector.Snapshot()
+	res.Outputs = res.Delay.Count
+	for _, a := range master.active {
+		if a {
+			res.ActiveEnd++
+		}
+	}
+	return res, nil
+}
+
+// JoinOptions configures an elastic slave (ServeSlaveJoin).
+type JoinOptions struct {
+	// MeshListen is the address the slave accepts mesh (state-movement)
+	// connections on; empty means "127.0.0.1:0". The address advertised to
+	// the cluster uses this host (or, when it is empty or a wildcard, the
+	// local address of the master dial) with the listener's actual port.
+	MeshListen string
+	// Leave, when it receives or closes, requests a graceful departure:
+	// the master drains the slave's groups to the survivors and releases
+	// it, at which point ServeSlaveJoin returns nil.
+	Leave <-chan struct{}
+
+	// kill is a test seam: when it fires, every connection of the slave is
+	// closed abruptly — indistinguishable, at the TCP level, from the
+	// process being killed.
+	kill <-chan struct{}
+}
+
+// ServeSlaveJoin dials into a live elastic cluster at joinAddr, letting the
+// master assign the slave its identity, and runs the slave loop until the
+// master shuts it down (end of run or completed graceful leave).
+func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err error) {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg.Mode = cfg.LiveProber
+	cfg.Expiry = join.ExpiryBlocks
+	if cfg.HeartbeatMs <= 0 {
+		cfg.HeartbeatMs = 500
+	}
+
+	env := engine.NewLiveEnv()
+	proc := env.NewProc("slave")
+
+	meshListen := opts.MeshListen
+	if meshListen == "" {
+		meshListen = "127.0.0.1:0"
+	}
+	ml, err := net.Listen("tcp", meshListen)
+	if err != nil {
+		return err
+	}
+	defer ml.Close()
+
+	mc, err := dialRetry(joinAddr)
+	if err != nil {
+		return err
+	}
+	defer mc.Close()
+	advert, err := advertiseAddr(meshListen, ml.Addr(), mc.LocalAddr())
+	if err != nil {
+		return err
+	}
+
+	// Join handshake: announce, learn our id and the roster.
+	master := engine.WrapTCPBatched(proc, mc, cfg.WireBatchBytes)
+	master.Send(&wire.Hello{Slave: -1, Epoch: joinEpoch})
+	master.Send(&wire.Membership{Self: -1, Slaves: []wire.MemberSpec{
+		{ID: -1, Addr: advert, Workers: int32(cfg.LiveWorkers())},
+	}})
+	roster, ok := master.Recv().(*wire.Membership)
+	if !ok {
+		return fmt.Errorf("core: join: expected Membership from master")
+	}
+	if roster.Self < 0 || int(roster.Self) >= cfg.Slaves {
+		return fmt.Errorf("core: join rejected (assigned id %d of %d; is -slaves consistent with the master?)",
+			roster.Self, cfg.Slaves)
+	}
+	id := roster.Self
+
+	// Mesh: accept slaves that join after us; dial everyone already there.
+	// curProc lets connections accepted after the clock re-anchor account
+	// to the run's process.
+	tab := newPeerTable(15 * time.Second)
+	defer tab.closeAll()
+	var curProc atomic.Pointer[engine.LiveProc]
+	curProc.Store(proc)
+	go func() {
+		for {
+			c, err := ml.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { recover() }() // torn-down handshake
+				pc := engine.WrapTCPBatched(curProc.Load(), c, cfg.WireBatchBytes)
+				h, ok := pc.Recv().(*wire.Hello)
+				if !ok || h.Slave < 0 || h.Slave == id {
+					c.Close()
+					return
+				}
+				tab.set(h.Slave, pc, func() { c.Close() })
+			}(c)
+		}
+	}()
+	for _, sp := range roster.Slaves {
+		if sp.ID == id || sp.Addr == "" {
+			continue
+		}
+		c, err := dialRetry(sp.Addr)
+		if err != nil {
+			return fmt.Errorf("core: slave %d mesh dial to %d: %w", id, sp.ID, err)
+		}
+		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
+		pc.Send(&wire.Hello{Slave: id, Epoch: joinEpoch})
+		cc := c
+		tab.set(sp.ID, pc, func() { cc.Close() })
+	}
+
+	rc, err := dialRetry(resAddr)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	coll := &tcpAsyncSender{
+		conn:       engine.WrapTCPBatched(proc, rc, cfg.WireBatchBytes),
+		now:        proc.Now,
+		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
+	}
+
+	// Downstream pair sinks, exactly as on the fixed topology.
+	sinkConns := make(map[string]net.Conn)
+	defer func() {
+		for _, c := range sinkConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	dialSinks := func() error {
+		for _, q := range cfg.effectiveQueries() {
+			if q.SinkAddr == "" {
+				continue
+			}
+			if _, ok := sinkConns[q.SinkAddr]; ok {
+				continue
+			}
+			c, err := dialRetry(q.SinkAddr)
+			if err != nil {
+				return fmt.Errorf("core: slave %d pair sink: %w", id, err)
+			}
+			sinkConns[q.SinkAddr] = c
+		}
+		return nil
+	}
+	if err := dialSinks(); err != nil {
+		return err
+	}
+
+	// The rest of the handshake: an optional QuerySet, then the anchor
+	// batch. Its epoch is startEpoch at initial formation (epoch 0 starts
+	// now) or the admission epoch for a mid-run joiner, whose first
+	// participating epoch is the next reorganization boundary — the same
+	// arithmetic the master used (masterNode.admit).
+	first := master.Recv()
+	if qset, ok := first.(*wire.QuerySet); ok {
+		cfg.Queries = make([]QuerySpec, len(qset.Specs))
+		for i, sp := range qset.Specs {
+			cfg.Queries[i] = QuerySpec{
+				ID:        sp.Query,
+				Prober:    join.Mode(sp.Prober),
+				CountOnly: sp.CountOnly,
+				SinkAddr:  sp.SinkAddr,
+			}
+		}
+		cfg.Sink, cfg.CountOnly, cfg.SinkAddr = nil, false, ""
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("core: slave %d query set: %w", id, err)
+		}
+		if err := dialSinks(); err != nil {
+			return err
+		}
+		first = master.Recv()
+	}
+	start, ok := first.(*wire.Batch)
+	if !ok {
+		return fmt.Errorf("core: slave %d: expected anchor batch", id)
+	}
+	base, epoch0 := int64(0), int64(0)
+	if start.Epoch != startEpoch {
+		K := cfg.epochsPerReorg()
+		base = start.Epoch
+		epoch0 = (start.Epoch/K + 1) * K
+	}
+
+	// Clock re-anchor (see ServeSlaveTCP).
+	env2 := engine.NewLiveEnv()
+	proc2 := env2.NewProc(fmt.Sprintf("slave%d", id))
+	curProc.Store(proc2)
+	rebind := func(c engine.Conn) engine.Conn {
+		if tc, ok := c.(interface {
+			Rebind(*engine.LiveProc) engine.Conn
+		}); ok {
+			return tc.Rebind(proc2)
+		}
+		return c
+	}
+	master = rebind(master)
+	tab.rebind(rebind)
+	coll.conn = rebind(coll.conn)
+	coll.now = proc2.Now
+
+	sinks := make(map[string]*engine.SocketSink)
+	for _, q := range cfg.effectiveQueries() {
+		if q.SinkAddr == "" {
+			continue
+		}
+		if _, ok := sinks[q.SinkAddr]; ok {
+			continue
+		}
+		sinks[q.SinkAddr] = engine.NewSocketSink(proc2, sinkConns[q.SinkAddr], id, 0)
+		delete(sinkConns, q.SinkAddr)
+	}
+	if len(cfg.Queries) == 0 {
+		if cfg.SinkAddr != "" {
+			cfg.Sink = sinks[cfg.SinkAddr]
+		}
+	} else {
+		queries := append([]QuerySpec(nil), cfg.Queries...)
+		for i := range queries {
+			if queries[i].SinkAddr != "" {
+				queries[i].Sink = sinks[queries[i].SinkAddr].ForQuery(queries[i].ID)
+			}
+		}
+		cfg.Queries = queries
+	}
+
+	// Heartbeat: a second control connection pinging every HeartbeatMs.
+	// Leave requests ride it as Ping.Leave.
+	hc, err := dialRetry(joinAddr)
+	if err != nil {
+		return err
+	}
+	defer hc.Close()
+	hconn := engine.WrapTCPBatched(proc2, hc, cfg.WireBatchBytes)
+	var leaving, done atomic.Bool
+	if opts.Leave != nil {
+		leaveCh := opts.Leave
+		go func() {
+			<-leaveCh
+			leaving.Store(true)
+		}()
+	}
+	go func() {
+		defer func() { recover() }() // connection teardown at shutdown
+		interval := time.Duration(cfg.HeartbeatMs) * time.Millisecond
+		for seq := int64(0); !done.Load(); seq++ {
+			hconn.Send(&wire.Ping{Slave: id, Seq: seq, Leave: leaving.Load()})
+			if _, ok := hconn.Recv().(*wire.Pong); !ok {
+				return
+			}
+			time.Sleep(interval)
+		}
+	}()
+	defer done.Store(true)
+
+	if opts.kill != nil {
+		killCh := opts.kill
+		go func() {
+			select {
+			case <-killCh:
+				// Crash seam: sever everything at once, as a process kill
+				// would.
+				mc.Close()
+				hc.Close()
+				rc.Close()
+				ml.Close()
+				tab.closeAll()
+			case <-killDone(&done):
+			}
+		}()
+	}
+
+	s := newSlave(&cfg, id, proc2, master, nil, coll,
+		engine.NewLiveRunner(proc2, cfg.LiveWorkers()))
+	s.ptab = tab
+	s.base, s.epoch0 = base, epoch0
+	s.active = start.Activate
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: slave %d failed: %v", id, r)
+		}
+		for _, sink := range sinks {
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("core: slave %d pair sink: %w", id, cerr)
+			}
+		}
+	}()
+	s.run()
+	return err
+}
+
+// killDone adapts the slave's done flag to a channel the kill-seam select
+// can wait on, polling coarsely (the seam is test-only).
+func killDone(done *atomic.Bool) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		for !done.Load() {
+			time.Sleep(100 * time.Millisecond)
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// advertiseAddr builds the mesh address a slave announces to the cluster:
+// the configured listen host (or, for an empty or wildcard host, the local
+// address of the master dial — the interface the cluster actually reaches
+// us through) with the listener's real port.
+func advertiseAddr(listenSpec string, lnAddr, localAddr net.Addr) (string, error) {
+	_, port, err := net.SplitHostPort(lnAddr.String())
+	if err != nil {
+		return "", err
+	}
+	host, _, err := net.SplitHostPort(listenSpec)
+	if err != nil || host == "" || host == "0.0.0.0" || host == "::" {
+		host, _, err = net.SplitHostPort(localAddr.String())
+		if err != nil {
+			return "", err
+		}
+	}
+	return net.JoinHostPort(host, port), nil
+}

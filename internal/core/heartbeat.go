@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// heartbeatMonitor is the elastic master's failure detector. Every joined
+// slave opens a dedicated heartbeat connection and sends a wire.Ping each
+// HeartbeatMs; the deploy layer's per-connection reader records each ping
+// with observe and replies with a wire.Pong. A periodic check declares a
+// slave dead once its last ping is older than the budget
+// (HeartbeatMisses × HeartbeatMs) and reports it through onDead exactly
+// once. The clock is injected so tests can pin detection-latency bounds
+// deterministically.
+type heartbeatMonitor struct {
+	interval time.Duration
+	misses   int
+	now      func() time.Duration
+	onDead   func(slave int32)
+
+	mu       sync.Mutex
+	lastSeen map[int32]time.Duration
+	dead     map[int32]bool
+}
+
+func newHeartbeatMonitor(interval time.Duration, misses int, now func() time.Duration, onDead func(int32)) *heartbeatMonitor {
+	return &heartbeatMonitor{
+		interval: interval,
+		misses:   misses,
+		now:      now,
+		onDead:   onDead,
+		lastSeen: make(map[int32]time.Duration),
+		dead:     make(map[int32]bool),
+	}
+}
+
+// budget is the detection deadline: a slave silent for longer is dead.
+func (h *heartbeatMonitor) budget() time.Duration {
+	return h.interval * time.Duration(h.misses)
+}
+
+// observe records a heartbeat from the slave. Pings from an already-declared
+// slave are ignored (its eviction is final; a rejoin re-registers with
+// reset).
+func (h *heartbeatMonitor) observe(slave int32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead[slave] {
+		return
+	}
+	h.lastSeen[slave] = h.now()
+}
+
+// reset starts tracking the slave afresh; used when a new heartbeat
+// connection registers, including a rejoin reusing an evicted slot.
+func (h *heartbeatMonitor) reset(slave int32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.dead, slave)
+	h.lastSeen[slave] = h.now()
+}
+
+// forget stops tracking the slave without declaring it dead (graceful leave
+// or run shutdown).
+func (h *heartbeatMonitor) forget(slave int32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.lastSeen, slave)
+}
+
+// check declares every overdue slave dead, invoking onDead (outside the
+// lock) once per slave, and returns the newly declared ids.
+func (h *heartbeatMonitor) check() []int32 {
+	now := h.now()
+	h.mu.Lock()
+	var died []int32
+	for slave, last := range h.lastSeen {
+		if now-last > h.budget() {
+			delete(h.lastSeen, slave)
+			h.dead[slave] = true
+			died = append(died, slave)
+		}
+	}
+	h.mu.Unlock()
+	if h.onDead != nil {
+		for _, s := range died {
+			h.onDead(s)
+		}
+	}
+	return died
+}

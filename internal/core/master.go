@@ -69,6 +69,40 @@ type masterNode struct {
 	movesDone    int
 	dodTrace     []DoDSample
 	shutdownSent []bool
+
+	// Elastic membership (nil/zero on fixed-topology deployments; see
+	// elastic.go). joined marks slots with a registered connection; dead
+	// marks evicted ones. firstEpoch is the first epoch a joiner
+	// participates in — the reorganization boundary after its admission,
+	// computed identically by the joiner from its anchor batch. memEpoch is
+	// the roster version; each slave is sent a Membership update before its
+	// next Batch whenever lastMem lags it.
+	elastic    bool
+	joined     []bool
+	dead       []bool
+	leaveReq   []bool
+	firstEpoch []int64
+	memEpoch   int64
+	lastMem    []int64
+	members    []wire.MemberSpec
+	events     chan memberEvent
+	onAdmit    func(id int32, closeCtl func())
+	qset       *wire.QuerySet
+	logfn      func(format string, args ...any)
+
+	// sending, non-nil while a drained batch is in flight to a slave, lets
+	// the death recovery re-buffer tuples the failed Send never delivered.
+	sending *wire.Batch
+
+	// memMoves tracks membership-driven movements (join rebalance, leave
+	// drain, crash adoption) by issue time; their ack latency accumulates
+	// into rebalStallMs.
+	memMoves     map[int64]time.Duration
+	joins        int
+	evictions    int
+	leaves       int
+	groupsMoved  int
+	rebalStallMs int64
 }
 
 func newMaster(cfg *Config, proc engine.Proc, conns []engine.Conn, in Ingestor, stop func() bool) *masterNode {
@@ -92,6 +126,18 @@ func newMaster(cfg *Config, proc engine.Proc, conns []engine.Conn, in Ingestor, 
 		nextMove:     1,
 		rng:          rand.New(rand.NewPCG(cfg.Seed, 0x51700a75e1ec0111)),
 		shutdownSent: make([]bool, cfg.Slaves),
+		joined:       make([]bool, cfg.Slaves),
+		dead:         make([]bool, cfg.Slaves),
+		leaveReq:     make([]bool, cfg.Slaves),
+		firstEpoch:   make([]int64, cfg.Slaves),
+		lastMem:      make([]int64, cfg.Slaves),
+		members:      make([]wire.MemberSpec, cfg.Slaves),
+		memMoves:     make(map[int64]time.Duration),
+	}
+	// Fixed topologies are born with the full roster; the elastic deploy
+	// resets joined and admits slaves one by one (admit).
+	for i := range m.joined {
+		m.joined[i] = true
 	}
 	// Initial placement: partition-groups round-robin over the initially
 	// active slaves.
@@ -113,6 +159,7 @@ func (m *masterNode) run() {
 
 	for e := int64(0); ; e++ {
 		stopping := m.stop()
+		m.drainEvents(e, stopping)
 		epochStart := time.Duration(e) * td
 		for slot := 0; slot < ng; slot++ {
 			for i := slot; i < m.cfg.Slaves; i += ng {
@@ -139,15 +186,18 @@ func (m *masterNode) run() {
 // every epoch, inactive slaves only at reorganization boundaries (their
 // low-cost poll for reactivation).
 func (m *masterNode) shouldServe(e int64, i int) bool {
-	if m.shutdownSent[i] {
+	if !m.joined[i] || m.dead[i] || m.shutdownSent[i] {
+		return false
+	}
+	if e < m.firstEpoch[i] {
 		return false
 	}
 	return m.active[i] || e%m.cfg.epochsPerReorg() == 0
 }
 
 func (m *masterNode) allShutdown() bool {
-	for _, s := range m.shutdownSent {
-		if !s {
+	for i, s := range m.shutdownSent {
+		if !s && m.joined[i] {
 			return false
 		}
 	}
@@ -178,10 +228,38 @@ func (m *masterNode) ingest(uptoMs int32) {
 	m.proc.Compute(m.cfg.Cost.Master(len(ts)))
 }
 
-// serve performs one epoch exchange with slave i: receive its Hello (load
-// report and movement ACKs), then send the tuples buffered for its
-// partition-groups plus any pending directives.
+// serve performs one epoch exchange with slave i. On an elastic cluster the
+// exchange is fault-tolerant: a transport failure (the slave crashed, or the
+// heartbeat monitor closed its connection) is absorbed and turns into an
+// eviction instead of killing the master.
 func (m *masterNode) serve(e int64, i int32, stopping bool) {
+	if !m.elastic {
+		m.exchange(e, i, stopping)
+		return
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*engine.TCPError); !ok {
+			panic(r)
+		}
+		if b := m.sending; b != nil {
+			// The failed Send never delivered this epoch's drain; put the
+			// tuples back so the groups' new owners receive them.
+			m.sending = nil
+			m.rebuffer(b.Tuples)
+		}
+		m.handleDeath(i, fmt.Sprintf("connection failed: %v", r))
+	}()
+	m.exchange(e, i, stopping)
+}
+
+// exchange is one epoch's Hello/Batch round trip with slave i: receive its
+// Hello (load report and movement ACKs), then send the tuples buffered for
+// its partition-groups plus any pending directives.
+func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 	hello, ok := m.conn[i].Recv().(*wire.Hello)
 	if !ok {
 		panic(fmt.Sprintf("core: master expected Hello from slave %d", i))
@@ -191,11 +269,30 @@ func (m *masterNode) serve(e int64, i int32, stopping bool) {
 	for _, ack := range hello.MoveACKs {
 		m.completeMove(ack)
 	}
+	if m.elastic && m.lastMem[i] != m.memEpoch {
+		// Roster changed since this slave last heard from us: prefix the
+		// batch with a Membership update so it can prune dead mesh peers
+		// and learn about joiners before any directive references them.
+		m.conn[i].Send(m.membershipFor(i))
+		m.lastMem[i] = m.memEpoch
+	}
 
 	batch := &wire.Batch{Epoch: e}
 	if stopping {
 		batch.Shutdown = true
 		m.shutdownSent[i] = true
+	}
+	if m.elastic && !stopping && m.leaveReq[i] && !m.active[i] && !m.pendAct[i] && m.slotClean(i) {
+		// A graceful leaver whose groups have all drained and acked: this
+		// batch releases it from the cluster.
+		batch.Shutdown = true
+		m.shutdownSent[i] = true
+		m.leaveReq[i] = false
+		m.members[i] = wire.MemberSpec{}
+		m.memEpoch++
+		m.leaves++
+		m.logf("membership: slave %d left gracefully at epoch %d, roster %d/%d",
+			i, e, m.memberCount(), m.cfg.Slaves)
 	}
 	if m.pendAct[i] {
 		batch.Activate = true
@@ -214,9 +311,25 @@ func (m *masterNode) serve(e int64, i int32, stopping bool) {
 		batch.Tuples = m.drainFor(i)
 	}
 	m.proc.Compute(m.cfg.Cost.Master(len(batch.Tuples)))
+	m.sending = batch
 	m.conn[i].Send(batch)
+	m.sending = nil
 	if deact {
 		m.active[i] = false
+	}
+}
+
+// rebuffer returns drained tuples to their partition mini-buffers after a
+// failed delivery. The tuples were drained this epoch with no ingest since,
+// so appending them preserves per-partition timestamp order.
+func (m *masterNode) rebuffer(ts []tuple.Tuple) {
+	for _, t := range ts {
+		p := m.cfg.PartitionOfKey(t.Key)
+		m.minibuf[p] = append(m.minibuf[p], t)
+	}
+	m.bufBytes += int64(len(ts)) * tuple.LogicalSize
+	if m.bufBytes > m.peakBuf {
+		m.peakBuf = m.bufBytes
 	}
 }
 
@@ -278,6 +391,11 @@ func (m *masterNode) completeMove(id int64) {
 	delete(m.heldGroup, mi.group)
 	delete(m.inflight, id)
 	m.movesDone++
+	if t0, ok := m.memMoves[id]; ok {
+		// A membership-driven move: its held time is rebalance stall.
+		m.rebalStallMs += int64((m.proc.Now() - t0) / time.Millisecond)
+		delete(m.memMoves, id)
+	}
 }
 
 // busySlaves returns the set of slaves that are part of an unfinished
@@ -331,11 +449,17 @@ func (m *masterNode) reorganize(e int64) {
 		Active: m.activeCount(),
 	})
 	busy := m.busySlaves()
+	if m.elastic {
+		// Membership transitions first: drain graceful leavers and activate
+		// joiners whose first epoch is next. Slaves they touch are marked
+		// busy so the occupancy pairing below leaves them alone.
+		m.elasticReorg(e, busy)
+	}
 
 	var sups, cons []int32
 	for i := 0; i < m.cfg.Slaves; i++ {
 		id := int32(i)
-		if !m.active[i] || busy[id] || !m.haveOcc[i] {
+		if !m.active[i] || busy[id] || !m.haveOcc[i] || m.leaveReq[i] {
 			continue
 		}
 		switch {
@@ -387,29 +511,41 @@ func (m *masterNode) deactivateOne(cons []int32, busy map[int32]bool) {
 	if m.activeCount() <= 1 || len(cons) == 0 {
 		return
 	}
-	victim := cons[0]
+	m.drainSlave(cons[0], busy, false)
+}
+
+// drainSlave moves every free group off victim to the other active,
+// non-busy slaves (lightest first, round-robin) and schedules the victim's
+// deactivation. tracked marks the moves as membership-driven (leave drain).
+// Returns false when no target exists, leaving the victim untouched.
+func (m *masterNode) drainSlave(victim int32, busy map[int32]bool, tracked bool) bool {
 	var targets []int32
 	for i := 0; i < m.cfg.Slaves; i++ {
 		id := int32(i)
-		if m.active[i] && id != victim && !busy[id] {
+		if m.active[i] && id != victim && !busy[id] && !m.leaveReq[i] && !m.dead[i] {
 			targets = append(targets, id)
 		}
 	}
 	if len(targets) == 0 {
-		return
+		return false
 	}
 	sort.SliceStable(targets, func(a, b int) bool { return m.occ[targets[a]] < m.occ[targets[b]] })
 	groups := m.freeGroupsOf(victim)
 	for k, g := range groups {
 		m.issueMove(g, victim, targets[k%len(targets)])
+		if tracked {
+			m.trackMove(m.nextMove - 1)
+		}
 	}
 	m.pendDeact[victim] = true
+	return true
 }
 
 // pickInactive returns the lowest-indexed inactive slave, or -1.
 func (m *masterNode) pickInactive() int {
 	for i := 0; i < m.cfg.Slaves; i++ {
-		if !m.active[i] && !m.pendAct[i] && !m.shutdownSent[i] {
+		if !m.active[i] && !m.pendAct[i] && !m.shutdownSent[i] &&
+			m.joined[i] && !m.dead[i] && !m.leaveReq[i] {
 			return i
 		}
 	}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"streamjoin/internal/engine"
+)
+
+// peerTable is an elastic slave's mesh address book: slave id → live
+// connection. Entries appear asynchronously (the mesh acceptor registers
+// inbound dials, the membership handler registers outbound ones) and
+// disappear when a roster update prunes a departed peer. get blocks until
+// the requested peer is present — a directive can name a joiner whose mesh
+// dial is still in flight — and returns nil once the peer is known gone or
+// the patience budget runs out.
+type peerTable struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conns    map[int32]engine.Conn
+	closers  map[int32]func()
+	gone     map[int32]bool
+	patience time.Duration
+}
+
+func newPeerTable(patience time.Duration) *peerTable {
+	pt := &peerTable{
+		conns:    make(map[int32]engine.Conn),
+		closers:  make(map[int32]func()),
+		gone:     make(map[int32]bool),
+		patience: patience,
+	}
+	pt.cond = sync.NewCond(&pt.mu)
+	return pt
+}
+
+// set registers (or replaces) the connection to a peer. closeRaw tears down
+// the underlying transport; it is invoked when the peer is pruned or the
+// table shuts down.
+func (pt *peerTable) set(id int32, c engine.Conn, closeRaw func()) {
+	pt.mu.Lock()
+	if old := pt.closers[id]; old != nil {
+		old()
+	}
+	pt.conns[id] = c
+	pt.closers[id] = closeRaw
+	delete(pt.gone, id)
+	pt.mu.Unlock()
+	pt.cond.Broadcast()
+}
+
+// get returns the connection to a peer, waiting up to the patience budget
+// for it to be registered. Returns nil when the peer was pruned or never
+// arrives.
+func (pt *peerTable) get(id int32) engine.Conn {
+	deadline := time.Now().Add(pt.patience)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for {
+		if c, ok := pt.conns[id]; ok {
+			return c
+		}
+		if pt.gone[id] || time.Now().After(deadline) {
+			return nil
+		}
+		// Wake periodically so the deadline is honored even without a
+		// broadcast.
+		t := time.AfterFunc(50*time.Millisecond, pt.cond.Broadcast)
+		pt.cond.Wait()
+		t.Stop()
+	}
+}
+
+// each visits every registered connection.
+func (pt *peerTable) each(f func(engine.Conn)) {
+	pt.mu.Lock()
+	conns := make([]engine.Conn, 0, len(pt.conns))
+	for _, c := range pt.conns {
+		conns = append(conns, c)
+	}
+	pt.mu.Unlock()
+	for _, c := range conns {
+		f(c)
+	}
+}
+
+// prune closes and forgets every peer not in the live set, and marks it
+// gone so pending and future gets fail fast. Closing the raw transport also
+// fails over any mesh read currently blocked on a dead supplier.
+func (pt *peerTable) prune(live map[int32]bool) {
+	pt.mu.Lock()
+	for id := range pt.conns {
+		if live[id] {
+			continue
+		}
+		if cl := pt.closers[id]; cl != nil {
+			cl()
+		}
+		delete(pt.conns, id)
+		delete(pt.closers, id)
+		pt.gone[id] = true
+	}
+	pt.mu.Unlock()
+	pt.cond.Broadcast()
+}
+
+// rebind re-wraps every registered connection (clock re-anchor after the
+// start batch; see engine.Conn Rebind).
+func (pt *peerTable) rebind(f func(engine.Conn) engine.Conn) {
+	pt.mu.Lock()
+	for id, c := range pt.conns {
+		pt.conns[id] = f(c)
+	}
+	pt.mu.Unlock()
+}
+
+// closeAll tears down every registered transport (shutdown and the abrupt
+// crash seam used by tests).
+func (pt *peerTable) closeAll() {
+	pt.mu.Lock()
+	for id, cl := range pt.closers {
+		if cl != nil {
+			cl()
+		}
+		delete(pt.conns, id)
+		delete(pt.closers, id)
+		pt.gone[id] = true
+	}
+	pt.mu.Unlock()
+	pt.cond.Broadcast()
+}

@@ -59,6 +59,19 @@ type Result struct {
 
 	// EpochsServed counts master distribution epochs over the whole run.
 	EpochsServed int64
+
+	// Elastic membership counters (ServeMasterElastic only; zero on fixed
+	// topologies). Joins counts admitted slaves (initial formation
+	// included), Leaves graceful departures, Evictions crash declarations.
+	// GroupsRebalanced counts partition-group movements driven by
+	// membership transitions (join rebalance, leave drain, crash adoption)
+	// rather than load, and RebalanceStallMs accumulates how long those
+	// movements held their group's tuple flow before the consumer acked.
+	Joins            int
+	Leaves           int
+	Evictions        int
+	GroupsRebalanced int
+	RebalanceStallMs int64
 }
 
 // MeanDelay is the average production delay over the measurement interval.

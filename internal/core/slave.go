@@ -37,6 +37,15 @@ type slaveNode struct {
 
 	active bool
 
+	// Elastic membership (zero on fixed-topology deployments). ptab
+	// replaces the fixed peer slice with a dynamic mesh table; base and
+	// epoch0 anchor the local clock for a mid-run joiner, whose anchor
+	// batch arrives at master epoch `base` and whose first participating
+	// epoch is epoch0 (the next reorganization boundary).
+	ptab   *peerTable
+	base   int64
+	epoch0 int64
+
 	// instrumentation
 	movesServed int64
 }
@@ -65,9 +74,9 @@ func (s *slaveNode) run() {
 	slotOff := s.cfg.slotOffset(int(s.id))
 	K := s.cfg.epochsPerReorg()
 
-	e := int64(0)
+	e := s.epoch0
 	for {
-		epochStart := time.Duration(e) * td
+		epochStart := time.Duration(e-s.base) * td
 		s.proc.IdleUntil(epochStart + slotOff)
 
 		// End-of-epoch occupancy sample (§IV-C): backlog bytes over the
@@ -114,9 +123,20 @@ func (s *slaveNode) run() {
 			engine.Flush(s.coll)
 		}
 
-		batch, ok := s.mst.Recv().(*wire.Batch)
-		if !ok {
-			panic(fmt.Sprintf("core: slave %d expected Batch", s.id))
+		// On an elastic cluster the batch may be preceded by Membership
+		// updates (roster changes since our last exchange): prune mesh
+		// connections of departed peers before any directive could name
+		// a new one.
+		var batch *wire.Batch
+		for batch == nil {
+			switch v := s.mst.Recv().(type) {
+			case *wire.Batch:
+				batch = v
+			case *wire.Membership:
+				s.applyMembership(v)
+			default:
+				panic(fmt.Sprintf("core: slave %d expected Batch, got %T", s.id, v))
+			}
 		}
 		if batch.Activate {
 			s.active = true
@@ -141,7 +161,7 @@ func (s *slaveNode) run() {
 		} else {
 			next = (e/K + 1) * K
 		}
-		deadline := time.Duration(next)*td + slotOff
+		deadline := time.Duration(next-s.base)*td + slotOff
 		s.ws.processUntil(deadline)
 		e = next
 	}
@@ -171,11 +191,7 @@ func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
 			panic(fmt.Sprintf("core: slave %d got foreign directive %+v", s.id, d))
 		}
 	}
-	for _, p := range s.peer {
-		if p != nil {
-			engine.Flush(p)
-		}
-	}
+	s.flushPeers()
 	if consumes == 0 {
 		return
 	}
@@ -187,20 +203,92 @@ func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
 	}
 }
 
+// peerConn resolves the mesh connection to another slave: the fixed slice
+// on a static topology, the dynamic table on an elastic one (nil when the
+// peer is gone or never arrives within the table's patience).
+func (s *slaveNode) peerConn(id int32) engine.Conn {
+	if s.ptab != nil {
+		return s.ptab.get(id)
+	}
+	return s.peer[id]
+}
+
+// flushPeers pushes buffered state transfers out on every live mesh
+// connection. On an elastic mesh a peer may die mid-flush; the failure is
+// absorbed (the master re-plans around the dead consumer).
+func (s *slaveNode) flushPeers() {
+	if s.ptab != nil {
+		s.ptab.each(func(p engine.Conn) {
+			tolerateTCP(func() { engine.Flush(p) })
+		})
+		return
+	}
+	for _, p := range s.peer {
+		if p != nil {
+			engine.Flush(p)
+		}
+	}
+}
+
+// applyMembership reacts to a roster update: mesh connections of slaves no
+// longer in the roster are closed, which also fails over any read blocked
+// on a dead supplier.
+func (s *slaveNode) applyMembership(ms *wire.Membership) {
+	if s.ptab == nil {
+		return
+	}
+	live := make(map[int32]bool, len(ms.Slaves))
+	for _, sp := range ms.Slaves {
+		live[sp.ID] = true
+	}
+	s.ptab.prune(live)
+}
+
 func (s *slaveNode) supplyGroup(d wire.Directive) {
 	st, pending := s.ws.extractGroup(d.Group)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(pending)))
-	engine.SendBuffered(s.peer[d.To], st.ToWire(d.MoveID, pending))
+	msg := st.ToWire(d.MoveID, pending)
+	if s.ptab == nil {
+		engine.SendBuffered(s.peer[d.To], msg)
+		return
+	}
+	// Elastic mesh: the consumer may be dead or unreachable. The state is
+	// then lost with the move — the master unwinds it and re-adopts the
+	// group empty on a survivor.
+	if p := s.peerConn(d.To); p != nil {
+		tolerateTCP(func() { engine.SendBuffered(p, msg) })
+	}
 }
 
 func (s *slaveNode) consumeGroup(d wire.Directive) {
-	msg, ok := s.peer[d.From].Recv().(*wire.StateTransfer)
-	if !ok {
-		panic(fmt.Sprintf("core: slave %d expected StateTransfer from %d", s.id, d.From))
-	}
-	if msg.MoveID != d.MoveID || msg.Group != d.Group {
-		panic(fmt.Sprintf("core: slave %d: transfer %d/%d does not match directive %+v",
-			s.id, msg.MoveID, msg.Group, d))
+	var msg *wire.StateTransfer
+	switch {
+	case d.From < 0:
+		// Adoption order (elastic): there is no supplier — the previous
+		// owner crashed and its windows are gone. Install the group empty
+		// (one depth-0 bucket) so processing resumes, and ack so ownership
+		// transfers.
+		msg = &wire.StateTransfer{
+			MoveID:  d.MoveID,
+			Group:   d.Group,
+			Buckets: []wire.BucketSpec{{LocalDepth: 0, Bits: 0}},
+		}
+	case s.ptab != nil:
+		if p := s.peerConn(d.From); p != nil {
+			tolerateTCP(func() { msg = s.recvTransfer(p, d) })
+		}
+		if msg == nil {
+			// The supplier died before (or while) shipping the state: the
+			// window contents are lost. Fall back to an empty install and
+			// ack, so the movement still completes.
+			msg = &wire.StateTransfer{
+				MoveID:  d.MoveID,
+				Group:   d.Group,
+				Buckets: []wire.BucketSpec{{LocalDepth: 0, Bits: 0}},
+			}
+		}
+	default:
+		msg = s.recvTransfer(s.peer[d.From], d)
 	}
 	st := join.StateFromWire(msg)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(msg.Pending)))
@@ -208,4 +296,35 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 		panic(err)
 	}
 	s.acks = append(s.acks, d.MoveID)
+}
+
+// recvTransfer reads the state transfer matching directive d from a mesh
+// connection. Protocol violations (wrong kind, mismatched move) stay fatal;
+// transport failures are the caller's concern.
+func (s *slaveNode) recvTransfer(p engine.Conn, d wire.Directive) *wire.StateTransfer {
+	msg, ok := p.Recv().(*wire.StateTransfer)
+	if !ok {
+		panic(fmt.Sprintf("core: slave %d expected StateTransfer from %d", s.id, d.From))
+	}
+	if msg.MoveID != d.MoveID || msg.Group != d.Group {
+		panic(fmt.Sprintf("core: slave %d: transfer %d/%d does not match directive %+v",
+			s.id, msg.MoveID, msg.Group, d))
+	}
+	return msg
+}
+
+// tolerateTCP runs f, absorbing a transport failure (*engine.TCPError
+// panic) and reporting whether f completed. Any other panic propagates.
+func tolerateTCP(f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isTCP := r.(*engine.TCPError); isTCP {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return true
 }

@@ -43,6 +43,13 @@ func sampleMessages() []Message {
 			{Probe: tuple.Tuple{Stream: tuple.S1, Key: 3, TS: 50},
 				Stored: tuple.Packed{Key: 3, TS: 44}},
 		}},
+		&Membership{Epoch: 2, Self: 1, Slaves: []MemberSpec{
+			{ID: 0, Addr: "127.0.0.1:7410", Workers: 4},
+			{ID: 1, Addr: "127.0.0.1:7411", Workers: 8},
+			{ID: 3, Addr: "10.0.0.7:9000", Workers: 2},
+		}},
+		&Ping{Slave: 3, Seq: 12, Leave: true},
+		&Pong{Slave: 3, Seq: 12},
 	}
 }
 

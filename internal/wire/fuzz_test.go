@@ -21,11 +21,11 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		buf := make([]byte, int(n)%4096)
 		r.Read(buf)
 		if len(buf) > 0 {
-			buf[0] = kind % 10 // bias toward valid kinds, query-tagged ones included
+			buf[0] = kind % 13 // bias toward valid kinds, query-tagged and membership ones included
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
-				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%10, rec)
+				t.Errorf("panic on %d bytes (kind %d): %v", len(buf), kind%13, rec)
 			}
 		}()
 		_, _ = Unmarshal(buf)
@@ -66,7 +66,7 @@ func TestBatchDecoderNeverPanics(t *testing.T) {
 		body := make([]byte, int(n)%4096)
 		r.Read(body)
 		if len(body) > 0 {
-			body[0] = kind % 10 // bias toward valid kinds, including FrameBatch and the query-tagged ones
+			body[0] = kind % 13 // bias toward valid kinds, including FrameBatch, query-tagged and membership ones
 		}
 		frame := make([]byte, 0, 9+len(body))
 		frame = binary.BigEndian.AppendUint32(frame, uint32(5+len(body)))
@@ -163,6 +163,12 @@ func TestMutatedFramesNeverPanic(t *testing.T) {
 				Stored: tuple.Packed{Key: 5, TS: 40}},
 		}},
 		&QuerySet{Specs: []QuerySpec{{Query: 1, Prober: 2, SinkAddr: "h:1"}, {Query: 2, CountOnly: true}}},
+		&Membership{Epoch: 3, Self: 1, Slaves: []MemberSpec{
+			{ID: 0, Addr: "127.0.0.1:7410", Workers: 4},
+			{ID: 1, Addr: "127.0.0.1:7411", Workers: 2},
+		}},
+		&Ping{Slave: 2, Seq: 17, Leave: true},
+		&Pong{Slave: 2, Seq: 17},
 	}
 	trials := 500 // soak-style; keep a sanity pass in -short runs
 	if testing.Short() {

@@ -15,7 +15,9 @@
 // supplier→consumer partition-group movement, and ResultBatch is the
 // slave→collector output summary — plus PairBatch, the beyond-the-paper
 // slave→downstream-consumer delivery of materialized output pairs (the
-// engine's SocketSink produces it, cmd/sjoin-collect consumes it).
+// engine's SocketSink produces it, cmd/sjoin-collect consumes it) and the
+// elastic-membership control kinds (Membership roster broadcasts and
+// Ping/Pong heartbeats — see their type docs).
 // FrameWriter/FrameReader add the batched physical framing described in
 // README.md ("Wire protocol"); framing never changes WireSize.
 package wire
@@ -46,6 +48,15 @@ const (
 	// byte-identical to the pre-multi-query protocol.
 	KindResultBatchQ
 	KindPairBatchQ
+	// KindMembership, KindPing and KindPong belong to the elastic-membership
+	// extension: a joining slave announces itself with a Membership carrying
+	// its mesh address, the master broadcasts the roster back, and heartbeats
+	// ride a dedicated control connection. None of them ever appears on a
+	// fixed-topology deployment, whose traffic stays byte-identical to the
+	// pre-elastic protocol.
+	KindMembership
+	KindPing
+	KindPong
 )
 
 func (k Kind) String() string {
@@ -68,6 +79,12 @@ func (k Kind) String() string {
 		return "ResultBatchQ"
 	case KindPairBatchQ:
 		return "PairBatchQ"
+	case KindMembership:
+		return "Membership"
+	case KindPing:
+		return "Ping"
+	case KindPong:
+		return "Pong"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -126,6 +143,12 @@ func decodeMessage(d *decoder) (Message, error) {
 		m = &PairBatch{}
 	case KindQuerySet:
 		m = &QuerySet{}
+	case KindMembership:
+		m = &Membership{}
+	case KindPing:
+		m = &Ping{}
+	case KindPong:
+		m = &Pong{}
 	case KindResultBatchQ, KindPairBatchQ:
 		// Query-tagged variants: a non-zero query id precedes the legacy
 		// body. Query 0 must use the legacy kind (the canonical encoding),
@@ -362,6 +385,81 @@ func (qs *QuerySet) WireSize() int64 {
 	}
 	return n
 }
+
+// MemberSpec describes one slave in a Membership roster: its cluster id, the
+// mesh address its peers dial for state movement, and its announced join
+// capacity (worker count).
+type MemberSpec struct {
+	ID      int32
+	Addr    string // state-movement mesh listen address
+	Workers int32  // announced join-worker capacity
+}
+
+// Membership carries the elastic cluster roster in both directions. A slave
+// dialing into a live cluster sends one right after its registration Hello:
+// Self and the single roster entry's ID are -1 (unassigned), and the entry
+// announces the joiner's mesh address and capacity. The master replies — and
+// re-broadcasts on every roster change — with the assigned Self id, the
+// group-ownership Epoch (monotone, bumped per membership transition), and
+// the full live roster so members can dial new peers and prune dead ones.
+//
+// Paper correspondence: the follow-up paper ("Processing Database Joins over
+// a Shared-Nothing System of Multicore Machines", §on reorganization,
+// PAPERS.md) treats the processing-node set as changeable between
+// reorganization intervals, with the coordinator re-planning partition
+// placement at interval boundaries; Membership is that coordinator view made
+// explicit on the wire. Fixed-topology deployments never send it.
+type Membership struct {
+	Epoch  int64 // group-ownership epoch; bumps on every roster change
+	Self   int32 // recipient's assigned slave id; -1 slave→master
+	Slaves []MemberSpec
+}
+
+// Kind implements Message.
+func (*Membership) Kind() Kind { return KindMembership }
+
+// memberEncSize is the minimum encoded size of one MemberSpec (id + workers
+// + addr length prefix, with an empty addr).
+const memberEncSize = 12
+
+// WireSize implements Message.
+func (m *Membership) WireSize() int64 {
+	n := int64(headerSize + 16)
+	for _, sp := range m.Slaves {
+		n += memberEncSize + int64(len(sp.Addr))
+	}
+	return n
+}
+
+// Ping is the periodic slave→master heartbeat on the dedicated heartbeat
+// connection of an elastic deployment. Seq increments per ping; Leave set
+// requests a graceful departure — the master drains the slave's
+// partition-groups to the survivors through the ordinary state-movement
+// machinery before shutting the slave down, so no window state is lost.
+type Ping struct {
+	Slave int32
+	Seq   int64
+	Leave bool // graceful-leave request
+}
+
+// Kind implements Message.
+func (*Ping) Kind() Kind { return KindPing }
+
+// WireSize implements Message.
+func (*Ping) WireSize() int64 { return headerSize + 13 }
+
+// Pong is the master's echo of a heartbeat Ping; a slave that stops seeing
+// them knows the master is gone.
+type Pong struct {
+	Slave int32
+	Seq   int64
+}
+
+// Kind implements Message.
+func (*Pong) Kind() Kind { return KindPong }
+
+// WireSize implements Message.
+func (*Pong) WireSize() int64 { return headerSize + 12 }
 
 // --- encoding helpers ---
 
@@ -718,5 +816,71 @@ func (qs *QuerySet) decodeFrom(d *decoder) error {
 		}
 		qs.Specs = append(qs.Specs, sp)
 	}
+	return d.err
+}
+
+func (m *Membership) appendTo(b []byte) []byte {
+	b = appendI64(b, m.Epoch)
+	b = appendI32(b, m.Self)
+	b = appendU32(b, uint32(len(m.Slaves)))
+	for _, sp := range m.Slaves {
+		b = appendI32(b, sp.ID)
+		b = appendI32(b, sp.Workers)
+		b = appendString(b, sp.Addr)
+	}
+	return b
+}
+
+func (m *Membership) decodeFrom(d *decoder) error {
+	m.Epoch = d.i64()
+	m.Self = d.i32()
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return d.err
+	}
+	// Like tuples(): never preallocate more roster entries than the remaining
+	// bytes could hold, so a corrupt count cannot force a giant allocation
+	// before the truncation is detected.
+	c := n
+	if lim := len(d.buf)/memberEncSize + 1; c > lim {
+		c = lim
+	}
+	m.Slaves = make([]MemberSpec, 0, c)
+	for i := 0; i < n; i++ {
+		sp := MemberSpec{
+			ID:      d.i32(),
+			Workers: d.i32(),
+			Addr:    d.str(),
+		}
+		if d.err != nil {
+			m.Slaves = nil
+			return d.err
+		}
+		m.Slaves = append(m.Slaves, sp)
+	}
+	return d.err
+}
+
+func (p *Ping) appendTo(b []byte) []byte {
+	b = appendI32(b, p.Slave)
+	b = appendI64(b, p.Seq)
+	return appendBool(b, p.Leave)
+}
+
+func (p *Ping) decodeFrom(d *decoder) error {
+	p.Slave = d.i32()
+	p.Seq = d.i64()
+	p.Leave = d.bool()
+	return d.err
+}
+
+func (p *Pong) appendTo(b []byte) []byte {
+	b = appendI32(b, p.Slave)
+	return appendI64(b, p.Seq)
+}
+
+func (p *Pong) decodeFrom(d *decoder) error {
+	p.Slave = d.i32()
+	p.Seq = d.i64()
 	return d.err
 }
