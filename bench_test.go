@@ -414,6 +414,116 @@ func BenchmarkWindowAppendExpire(b *testing.B) {
 	}
 }
 
+// BenchmarkReplication prices the buddy-replication extension (-replicate):
+// one partition-group's steady-state distribution epoch with and without the
+// replication round trip riding on it. Both variants ingest a Table-I-shaped
+// epoch batch into the primary window stores and expire at the watermark;
+// "on" additionally performs everything replication adds per epoch — the
+// owner-side capture of the ingested runs, the WindowDelta encode through the
+// batched frame writer, the buddy-side decode, and the shadow-store apply
+// (AppendRun + Expire), mirroring core's captureRepl/replicator.flush and
+// replicaSet.apply. The ns/op spread between the variants is the replication
+// overhead; allocs/op is gated — the capture buffers, frame scratch, and
+// shadow blocks are all reused, so the only steady-state allocations are the
+// decoder's per-delta message and run slices.
+func BenchmarkReplication(b *testing.B) {
+	for _, name := range []string{"off", "on"} {
+		replicate := name == "on"
+		b.Run(name, func(b *testing.B) {
+			const windowMs, epochMs = 30_000, 2_000
+			s1, s2 := workload.Pair(workload.Config{
+				Rate: 1500, Skew: 0.7, Domain: 10_000_000, Seed: 1,
+			})
+			now := int32(0)
+			nextEpoch := func() []tuple.Tuple {
+				batch := workload.Merge(s1.Batch(now, now+epochMs), s2.Batch(now, now+epochMs))
+				now += epochMs
+				return batch
+			}
+			var primary, shadow [2]*window.Store
+			for s := range primary {
+				primary[s] = window.NewStore()
+				shadow[s] = window.NewStore()
+			}
+			ingest := func(stores [2]*window.Store, batch []tuple.Tuple, cutoff int32) {
+				for _, t := range batch {
+					stores[t.Stream].Append(t.Packed())
+				}
+				for s := range stores {
+					stores[s].Expire(cutoff, false, nil) // the live engine's block policy
+				}
+			}
+			// Warm both sides to steady state — a full window plus slack for
+			// the block free lists to reach their high-water marks.
+			for now < 2*windowMs {
+				batch := nextEpoch()
+				ingest(primary, batch, now-windowMs)
+				ingest(shadow, batch, now-windowMs)
+			}
+			epochs := make([][]tuple.Tuple, b.N)
+			for i := range epochs {
+				epochs[i] = nextEpoch()
+			}
+			t0 := now - int32(b.N)*epochMs
+
+			var runs [2][]tuple.Tuple // owner-side capture (captureRepl)
+			var scratch []tuple.Packed
+			var buf bytes.Buffer
+			fw := wire.NewFrameWriter(&buf, 32<<10)
+			rd := bytes.NewReader(nil)
+			fr := wire.NewFrameReader(rd)
+			tuples, replBytes := 0, int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i, batch := range epochs {
+				cutoff := t0 + int32(i+1)*epochMs - windowMs
+				if replicate {
+					runs[0], runs[1] = runs[0][:0], runs[1][:0]
+					for _, t := range batch {
+						runs[t.Stream] = append(runs[t.Stream], t)
+					}
+				}
+				ingest(primary, batch, cutoff)
+				tuples += len(batch)
+				if !replicate {
+					continue
+				}
+				// Owner: one delta per owned group per epoch (replicator.flush).
+				buf.Reset()
+				wd := wire.WindowDelta{From: 0, Group: 0, Epoch: int64(i), Cutoff: cutoff}
+				wd.Runs = runs
+				if err := fw.Append(&wd); err != nil {
+					b.Fatal(err)
+				}
+				if err := fw.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				replBytes += int64(buf.Len())
+				// Buddy: decode and apply to the shadow stores (replicaSet.apply).
+				rd.Reset(buf.Bytes())
+				msg, err := fr.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := msg.(*wire.WindowDelta)
+				for s := 0; s < 2; s++ {
+					scratch = scratch[:0]
+					for _, t := range got.Runs[s] {
+						scratch = append(scratch, t.Packed())
+					}
+					shadow[s].AppendRun(scratch)
+					shadow[s].Expire(got.Cutoff, false, nil)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+			if replicate {
+				b.ReportMetric(float64(replBytes)/float64(b.N), "repl-bytes/epoch")
+			}
+		})
+	}
+}
+
 // BenchmarkWireFraming compares the two physical framings of the live TCP
 // transport on one Table-I epoch exchange: for each of 4 slaves a Hello
 // load report, a ~1500-tuple Batch (rate 1500 t/s per stream × t_d = 2 s,

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# End-to-end elastic-membership check: a live TCP cluster scales 2 → 3 → 2
-# while sjoin-collect is attached downstream, with the race detector on.
+# End-to-end elastic-membership checks against a live TCP cluster with
+# sjoin-collect attached downstream and the race detector on. Two scenarios:
 #
+# Scenario A — lossless transitions (join rebalance + graceful leave):
 #   t≈0s   master starts elastic (-min-slaves 2 -slaves 3); two slaves dial
 #          in with -join and form the cluster
 #   t≈3s   a third slave dials in mid-run; the master admits it and peels
@@ -17,6 +18,24 @@
 # == per-group sum, with zero emission-sequence regressions (seq_dups). The
 # master's membership counters must read 3 joins / 1 leave / 0 evictions,
 # and its log must show the activation and the release.
+#
+# Scenario B — crash scale-in under buddy replication (-replicate):
+#   t≈0s   master starts with -min-slaves 3 -replicate; three slaves form
+#          the cluster and chain-replicate their windows to their buddies
+#   t≈5s   the first slave gets SIGKILL — a real crash, nothing flushed on
+#          the way out. The master evicts it and promotes its groups from
+#          the buddy's replicas instead of re-adopting them empty
+#   t≈8s   a replacement slave joins, recycling the dead slot; its sink's
+#          emission sequence restarts, which the collector must surface as
+#          seq_dups regressions (the operator's dedup signal)
+#   t≈16s  the run ends
+#
+# The per-epoch sink delivery barrier of the replicating slave guarantees
+# that every pair the master's summary accounts was already in the kernel's
+# hands when the process died: collect pair total >= master outputs, even
+# through SIGKILL. The eviction must promote (not adopt) the dead slave's
+# groups, membership must read 4 joins / 0 leaves / 1 eviction, and
+# seq_dups must be > 0 — the slot recycle exercised the dedup signal.
 #
 # Usage: ci/e2e-elastic.sh            (race detector on; RACE= to disable)
 set -euo pipefail
@@ -92,4 +111,80 @@ test "$outputs" -gt 0
 test "$outputs" = "$pairs"
 test "$outputs" = "$group_sum"
 test "$seq_dups" = "0"
-echo "e2e-elastic: OK"
+echo "e2e-elastic scenario A: OK"
+
+# --- Scenario B: crash scale-in (SIGKILL) under buddy replication -----------
+
+CTL=127.0.0.1:7443
+RES=127.0.0.1:7444
+SINK=127.0.0.1:7445
+BFLAGS=(-slaves 3 -min-slaves 3 -replicate -rate 600 -window 3s -td 250ms
+        -tr 2500ms -duration 16s -warmup 1s -theta 32768 -domain 20000 -workers 2)
+
+"$WORK/sjoin-collect" -listen "$SINK" -conns 4 -json "$WORK/collect-b.json" \
+  2>"$WORK/collect-b.log" &
+COLLECTB=$!
+"$WORK/sjoin-master" "${BFLAGS[@]}" -ctl "$CTL" -results "$RES" \
+  >"$WORK/master-b.out" 2>"$WORK/master-b.log" &
+MASTERB=$!
+sleep 0.5
+
+# Initial cluster: three slaves; the first is the crash victim.
+"$WORK/sjoin-slave" "${BFLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+VICTIM=$!
+sleep 0.2   # deterministic id order keeps the kill target at slot 0
+"$WORK/sjoin-slave" "${BFLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVEB1=$!
+sleep 0.2
+"$WORK/sjoin-slave" "${BFLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVEB2=$!
+
+# Crash: SIGKILL gives the victim no chance to flush anything. The master
+# must evict it and promote its groups from the buddy's replicas.
+sleep 5
+kill -9 "$VICTIM"
+
+# Replacement: joins the live run, recycling the drained dead slot. Its sink
+# restarts the emission sequence for slot 0, so the collector's seq_dups
+# dedup signal must fire once it regains groups the victim emitted for.
+sleep 3
+"$WORK/sjoin-slave" "${BFLAGS[@]}" -join "$CTL" -results "$RES" -sink "tcp:$SINK" &
+SLAVEB3=$!
+
+wait "$MASTERB"
+wait "$VICTIM" || true   # killed: nonzero by design
+wait "$SLAVEB1"
+wait "$SLAVEB2"
+wait "$SLAVEB3"
+wait "$COLLECTB"
+
+echo "--- scenario B master membership log ---"
+cat "$WORK/master-b.log"
+echo "--- scenario B master summary ---"
+cat "$WORK/master-b.out"
+
+outputs_b=$(awk '/^outputs:/{print $2}' "$WORK/master-b.out")
+membership_b=$(awk '/^membership:/{print $2, $4, $6}' "$WORK/master-b.out")
+promoted_b=$(awk '/^promoted:/{print $2}' "$WORK/master-b.out")
+pairs_b=$(sed -n 's/^  "pairs": \([0-9][0-9]*\),$/\1/p' "$WORK/collect-b.json")
+group_sum_b=$(sed -n '/"groups"/,/}/s/[^:]*: \([0-9][0-9]*\),\{0,1\}$/\1/p' "$WORK/collect-b.json" |
+  awk '{s+=$1} END {print s+0}')
+seq_dups_b=$(sed -n 's/^  "seq_dups": \([0-9][0-9]*\)$/\1/p' "$WORK/collect-b.json")
+echo "e2e-elastic B: master outputs=$outputs_b collect pairs=$pairs_b per-group sum=$group_sum_b seq_dups=$seq_dups_b promoted=$promoted_b membership=[$membership_b]"
+
+# The crash was detected, the windows were promoted (not re-adopted empty),
+# and the replacement joined the recycled slot.
+grep -q 'membership: slave 0 dead' "$WORK/master-b.log"
+test "$membership_b" = "4 0 1"   # joins leaves evictions
+test -n "$promoted_b"
+test "$promoted_b" -gt 0
+# Delivery barrier through SIGKILL: every pair the master accounted was in
+# the kernel's hands before the crash — the collector can only hold more
+# (pairs produced after the victim's last accounting flush), never less.
+test -n "$outputs_b"
+test "$outputs_b" -gt 0
+test "$pairs_b" -ge "$outputs_b"
+test "$group_sum_b" = "$pairs_b"
+# The recycled slot restarted its emission sequence: the dedup signal fired.
+test "$seq_dups_b" -gt 0
+echo "e2e-elastic scenario B: OK"

@@ -73,5 +73,12 @@ func main() {
 			r.Joins, r.Leaves, r.Evictions)
 		fmt.Printf("rebalanced:     %d groups (%dms cumulative stall)\n",
 			r.GroupsRebalanced, r.RebalanceStallMs)
+		if cfg.Replicate {
+			fmt.Printf("promoted:       %d groups from buddy replicas\n", r.GroupsPromoted)
+		}
+		if r.Evictions > 0 {
+			fmt.Printf("pairs lost:     %d (estimated, from %d window tuples discarded at evictions)\n",
+				r.PairsLost, r.LostWindowTuples)
+		}
 	}
 }

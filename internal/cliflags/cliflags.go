@@ -98,6 +98,8 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		minsl    = fs.Int("min-slaves", def.MinSlaves, "elastic membership: start once this many slaves joined, admit up to -slaves (0 = fixed topology)")
 		hbint    = fs.Duration("heartbeat", time.Duration(def.HeartbeatMs)*time.Millisecond, "elastic membership: slave heartbeat interval")
 		hbmiss   = fs.Int("heartbeat-misses", def.HeartbeatMisses, "elastic membership: consecutive missed heartbeats before a slave is declared dead")
+		repl     = fs.Bool("replicate", def.Replicate, "elastic membership: chain-replicate each slave's window state to a buddy every epoch, so a crashed slave's groups are promoted from their replicas instead of restarting empty (requires -min-slaves > 0)")
+		replTTL  = fs.Int("replica-ttl", def.ReplicaTTL, "epochs a buddy retains a replica not refreshed by its owner before discarding it (0 = default)")
 	)
 	prober := def.LiveProber
 	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
@@ -162,6 +164,8 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.MinSlaves = *minsl
 		cfg.HeartbeatMs = int32(*hbint / time.Millisecond)
 		cfg.HeartbeatMisses = *hbmiss
+		cfg.Replicate = *repl
+		cfg.ReplicaTTL = *replTTL
 		return cfg
 	}
 }

@@ -224,6 +224,18 @@ type Config struct {
 	// its groups are re-adopted empty by the survivors, and the run
 	// continues without it. Default 3.
 	HeartbeatMisses int
+	// Replicate enables buddy replication of window state on the elastic
+	// deployment: every slave chain-replicates each owned partition-group's
+	// per-epoch window delta to the next roster member, and a crash
+	// promotes the buddy's shadows instead of re-adopting the groups empty
+	// — output that needed the dead slave's windows survives the eviction.
+	// Off, the eviction path is the pre-replication empty adoption,
+	// byte-identical on the wire.
+	Replicate bool
+	// ReplicaTTL bounds, in owner epochs, how long a replica shadow may go
+	// without a delta before the buddy retires it (orphan collection after
+	// the owner switched buddies or shed the group). 0 means the default 8.
+	ReplicaTTL int
 }
 
 // DefaultConfig returns the paper's Table I defaults on the calibrated
@@ -314,6 +326,10 @@ func (c *Config) Validate() error {
 	case c.MinSlaves > 0 && (c.HeartbeatMs <= 0 || c.HeartbeatMisses < 1):
 		return fmt.Errorf("core: elastic membership needs HeartbeatMs > 0 and HeartbeatMisses >= 1, got %d/%d",
 			c.HeartbeatMs, c.HeartbeatMisses)
+	case c.Replicate && c.MinSlaves == 0:
+		return fmt.Errorf("core: Replicate requires the elastic deployment (MinSlaves > 0)")
+	case c.ReplicaTTL < 0:
+		return fmt.Errorf("core: ReplicaTTL = %d, want >= 0 (0 = default)", c.ReplicaTTL)
 	case c.CountOnly && c.Sink != nil:
 		return fmt.Errorf("core: CountOnly skips materialization, so Sink would never fire")
 	case c.SinkAddr != "" && c.CountOnly:
@@ -512,6 +528,14 @@ func (c *Config) initialActive() int {
 		return c.Slaves
 	}
 	return c.InitialActive
+}
+
+// replicaTTL resolves ReplicaTTL (0 = default 8 owner epochs).
+func (c *Config) replicaTTL() int {
+	if c.ReplicaTTL > 0 {
+		return c.ReplicaTTL
+	}
+	return 8
 }
 
 // epochsPerReorg is t_r / t_d.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"streamjoin/internal/engine"
+	"streamjoin/internal/tuple"
 	"streamjoin/internal/wire"
 )
 
@@ -223,16 +224,22 @@ func (m *masterNode) requestLeave(i int32) {
 }
 
 // handleDeath evicts slave i after a crash (transport failure or heartbeat
-// timeout). Its window contents are gone with the node, so every group it
-// owned is re-adopted empty by a survivor (a From: -1 directive installing a
-// fresh group); in-flight movements touching it are unwound:
+// timeout). With replication off its window contents are gone with the node,
+// so every group it owned is re-adopted empty by a survivor (a From: -1
+// directive installing a fresh group); with cfg.Replicate the groups are
+// instead promoted from the buddy's shadows (a From: -2-src directive — the
+// buddy installs the replica it has been fed every epoch). In-flight
+// movements touching the dead slave are unwound:
 //
 //   - consumer dead, directive not yet delivered to the supplier: the move
 //     is cancelled and the group stays (intact) with the supplier;
 //   - consumer dead, state already extracted toward it: the state is lost in
-//     transit, so the group is re-adopted empty like the owned ones;
-//   - supplier dead: the consumer's mesh read fails over to an empty
-//     install and it acks normally, so the move completes by itself.
+//     transit — re-adopted empty, or promoted from the *supplier's* buddy,
+//     whose shadow survived the extraction (the supplier only drops its
+//     delta accumulator, never the buddy's copy);
+//   - supplier dead: the consumer's mesh read fails over — to the local
+//     shadow when the consumer is the dead supplier's buddy, else to an
+//     empty install — and it acks normally, so the move completes by itself.
 func (m *masterNode) handleDeath(i int32, reason string) {
 	if i < 0 || int(i) >= m.cfg.Slaves || !m.joined[i] || m.dead[i] || m.shutdownSent[i] {
 		return
@@ -248,6 +255,7 @@ func (m *masterNode) handleDeath(i int32, reason string) {
 	m.evictions++
 
 	dropped := 0
+	lostSrc := make(map[int32]int32) // group -> supplier whose buddy holds its shadow
 	for id, mi := range m.inflight {
 		if mi.to != i {
 			continue
@@ -259,8 +267,12 @@ func (m *masterNode) handleDeath(i int32, reason string) {
 		} else {
 			// The state is in flight toward the dead consumer: lost. Mark
 			// the group as the dead slave's so the adoption pass below
-			// re-creates it empty on a survivor.
+			// re-creates it on a survivor — from the supplier's buddy's
+			// shadow when replication is on.
 			m.groupOwner[mi.group] = i
+			if mi.from >= 0 {
+				lostSrc[mi.group] = mi.from
+			}
 		}
 		delete(m.heldGroup, mi.group)
 		delete(m.inflight, id)
@@ -268,7 +280,7 @@ func (m *masterNode) handleDeath(i int32, reason string) {
 		dropped++
 	}
 
-	adopted := 0
+	adopted, promoted := 0, 0
 	var targets []int32
 	for k := 0; k < m.cfg.Slaves; k++ {
 		id := int32(k)
@@ -280,6 +292,17 @@ func (m *masterNode) handleDeath(i int32, reason string) {
 		if owner != i || m.heldGroup[int32(g)] {
 			continue
 		}
+		if m.cfg.Replicate {
+			src := i
+			if ls, ok := lostSrc[int32(g)]; ok {
+				src = ls
+			}
+			if to := m.buddyAfter(src); to >= 0 {
+				m.issuePromote(int32(g), src, to)
+				promoted++
+				continue
+			}
+		}
 		if len(targets) == 0 {
 			m.logf("membership: no live slave can adopt group %d of dead slave %d", g, i)
 			continue
@@ -287,8 +310,54 @@ func (m *masterNode) handleDeath(i int32, reason string) {
 		m.issueAdopt(int32(g), targets[adopted%len(targets)])
 		adopted++
 	}
-	m.logf("membership: slave %d dead (%s): %d groups re-adopted empty, %d in-flight moves unwound, roster %d/%d",
-		i, reason, adopted, dropped, m.memberCount(), m.cfg.Slaves)
+	if adopted > 0 {
+		m.accountWindowLoss(i, adopted, promoted)
+	}
+	m.logf("membership: slave %d dead (%s): %d groups promoted from replicas, %d re-adopted empty, %d in-flight moves unwound, roster %d/%d",
+		i, reason, promoted, adopted, dropped, m.memberCount(), m.cfg.Slaves)
+}
+
+// buddyAfter returns the roster member every slave-side replicator picks as
+// src's buddy: the next joined, non-dead, non-released slot after src,
+// cyclically — the same walk updateRoster performs over the Membership
+// roster, so the master's promotion target is exactly where the owner has
+// been shipping its deltas. -1 when src has no possible buddy.
+func (m *masterNode) buddyAfter(src int32) int32 {
+	for k := 1; k < m.cfg.Slaves; k++ {
+		j := (int(src) + k) % m.cfg.Slaves
+		if m.joined[j] && !m.dead[j] && !m.shutdownSent[j] {
+			return int32(j)
+		}
+	}
+	return -1
+}
+
+// issuePromote directs slave `to` to install group g from its local replica
+// shadow of crashed slave src (From: -2-src; see replica.go). Like an
+// adoption there is no supplier to unwind — if `to` dies before acking, the
+// next handleDeath re-creates the group on another survivor.
+func (m *masterNode) issuePromote(g, src, to int32) {
+	d := wire.Directive{MoveID: m.nextMove, Group: g, From: promoteFrom(src), To: to}
+	m.nextMove++
+	m.pendDir[to] = append(m.pendDir[to], d)
+	m.heldGroup[g] = true
+	m.inflight[d.MoveID] = moveInfo{id: d.MoveID, group: g, from: -1, to: to}
+	m.movesIssued++
+	m.promotions++
+	m.trackMove(d.MoveID)
+}
+
+// accountWindowLoss estimates the window tuples lost with an eviction that
+// re-adopted `adopted` groups empty (and promoted `promoted` from replicas):
+// the dead slave's last reported window footprint, prorated over the groups
+// that actually lost their windows. The master cannot see per-group sizes —
+// this is an estimate, surfaced as such in the final summary (PairsLost).
+func (m *masterNode) accountWindowLoss(i int32, adopted, promoted int) {
+	if adopted <= 0 {
+		return
+	}
+	tuples := m.lastWindow[i] / tuple.LogicalSize
+	m.lostWindowTuples += tuples * int64(adopted) / int64(adopted+promoted)
 }
 
 // dropPend removes the directive with the given move id from slave i's

@@ -320,9 +320,18 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 		Evictions:          master.evictions,
 		GroupsRebalanced:   master.groupsMoved,
 		RebalanceStallMs:   master.rebalStallMs,
+		GroupsPromoted:     master.promotions,
+		LostWindowTuples:   master.lostWindowTuples,
 	}
 	res.Delay, res.DelayBySlave, res.DelayByQuery = collector.Snapshot()
 	res.Outputs = res.Delay.Count
+	if master.tuplesDrained > 0 {
+		// Estimated pairs lost to unreplicated evictions: each window tuple
+		// discarded at an eviction would, on average, have joined with the
+		// same selectivity the run actually observed (outputs per drained
+		// tuple). Zero whenever replication promoted every group.
+		res.PairsLost = res.Outputs * master.lostWindowTuples / master.tuplesDrained
+	}
 	for _, a := range master.active {
 		if a {
 			res.ActiveEnd++
@@ -347,6 +356,14 @@ type JoinOptions struct {
 	// closed abruptly — indistinguishable, at the TCP level, from the
 	// process being killed.
 	kill <-chan struct{}
+
+	// failAt is the deterministic fault-injection seam of the
+	// crash-recovery tests: at the start of epoch failAt — after that
+	// epoch's results and replication deltas have been flushed, before its
+	// Hello — the slave delivers everything pending downstream and then
+	// severs every connection at once, exactly as a crash between two
+	// epoch exchanges would look from outside. 0 disables the seam.
+	failAt int64
 }
 
 // ServeSlaveJoin dials into a live elastic cluster at joinAddr, letting the
@@ -402,10 +419,15 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	id := roster.Self
 
 	// Mesh: accept slaves that join after us; dial everyone already there.
+	// The same listener carries two stream kinds, told apart by the first
+	// Hello's Epoch: joinEpoch marks a state-movement peer, replEpoch a
+	// buddy-replication stream whose deltas feed the local replicaSet.
 	// curProc lets connections accepted after the clock re-anchor account
 	// to the run's process.
 	tab := newPeerTable(15 * time.Second)
 	defer tab.closeAll()
+	rset := newReplicaSet(&cfg)
+	defer rset.closeAll()
 	var curProc atomic.Pointer[engine.LiveProc]
 	curProc.Store(proc)
 	go func() {
@@ -421,6 +443,22 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 				if !ok || h.Slave < 0 || h.Slave == id {
 					c.Close()
 					return
+				}
+				if h.Epoch == replEpoch {
+					// Replication reader: apply the owner's deltas until
+					// the stream ends. endReader signals take that every
+					// delta the owner flushed before dying is applied.
+					rset.addCloser(func() { c.Close() })
+					done := rset.beginReader(h.Slave)
+					defer rset.endReader(h.Slave, done)
+					for {
+						wd, ok := pc.Recv().(*wire.WindowDelta)
+						if !ok {
+							c.Close()
+							return
+						}
+						rset.apply(wd)
+					}
 				}
 				tab.set(h.Slave, pc, func() { c.Close() })
 			}(c)
@@ -587,6 +625,40 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	}()
 	defer done.Store(true)
 
+	s := newSlave(&cfg, id, proc2, master, nil, coll,
+		engine.NewLiveRunner(proc2, cfg.LiveWorkers()))
+	s.ptab = tab
+	s.base, s.epoch0 = base, epoch0
+	s.active = start.Activate
+
+	// Buddy replication: every elastic slave accepts replica streams (the
+	// rset above), so a replicating peer always has somewhere to ship to;
+	// the sending side only runs with cfg.Replicate.
+	s.rset = rset
+	rset.setProc(proc2)
+	if cfg.Replicate {
+		s.ws.replicate = true
+		s.repl = newReplicator(&cfg, id, proc2, func(addr string) (engine.Conn, func(), error) {
+			c, err := net.DialTimeout("tcp", addr, time.Duration(cfg.DistEpochMs)*time.Millisecond)
+			if err != nil {
+				return nil, nil, err
+			}
+			return engine.WrapTCPBatched(proc2, c, cfg.WireBatchBytes), func() { c.Close() }, nil
+		})
+		s.repl.updateRoster(roster.Slaves)
+		defer s.repl.close()
+		if len(sinks) > 0 {
+			// Per-epoch delivery barrier: pairs reported by an epoch are in
+			// the kernel's hands before the epoch's Hello, so even an
+			// abrupt crash cannot lose output the master has accounted.
+			s.preFlush = func() {
+				for _, sink := range sinks {
+					sink.FlushBarrier()
+				}
+			}
+		}
+	}
+
 	if opts.kill != nil {
 		killCh := opts.kill
 		go func() {
@@ -599,16 +671,40 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 				rc.Close()
 				ml.Close()
 				tab.closeAll()
+				rset.closeAll()
+				if s.repl != nil {
+					s.repl.close()
+				}
 			case <-killDone(&done):
 			}
 		}()
 	}
 
-	s := newSlave(&cfg, id, proc2, master, nil, coll,
-		engine.NewLiveRunner(proc2, cfg.LiveWorkers()))
-	s.ptab = tab
-	s.base, s.epoch0 = base, epoch0
-	s.active = start.Activate
+	if opts.failAt > 0 {
+		failEpoch := opts.failAt
+		s.failHook = func(e int64) {
+			if e != failEpoch {
+				return
+			}
+			// Deterministic crash: deliver everything already produced
+			// (results to the collector, pairs to the sinks — the epoch's
+			// replication deltas are already flushed), then sever every
+			// connection at once. The slave loop dies on its next Send.
+			engine.Flush(coll)
+			for _, sink := range sinks {
+				sink.FlushBarrier()
+			}
+			mc.Close()
+			hc.Close()
+			rc.Close()
+			ml.Close()
+			tab.closeAll()
+			rset.closeAll()
+			if s.repl != nil {
+				s.repl.close()
+			}
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: slave %d failed: %v", id, r)

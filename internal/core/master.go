@@ -103,6 +103,17 @@ type masterNode struct {
 	leaves       int
 	groupsMoved  int
 	rebalStallMs int64
+
+	// Crash-recovery accounting (replica.go / elastic.go). lastWindow is
+	// each slave's last reported window footprint — the basis of the
+	// lost-output estimate when its groups are re-adopted empty.
+	// tuplesDrained counts every tuple delivered to a slave, promotions the
+	// replica promotions issued, lostWindowTuples the estimated window
+	// tuples lost to unrecovered evictions.
+	lastWindow       []int64
+	tuplesDrained    int64
+	promotions       int
+	lostWindowTuples int64
 }
 
 func newMaster(cfg *Config, proc engine.Proc, conns []engine.Conn, in Ingestor, stop func() bool) *masterNode {
@@ -133,6 +144,7 @@ func newMaster(cfg *Config, proc engine.Proc, conns []engine.Conn, in Ingestor, 
 		lastMem:      make([]int64, cfg.Slaves),
 		members:      make([]wire.MemberSpec, cfg.Slaves),
 		memMoves:     make(map[int64]time.Duration),
+		lastWindow:   make([]int64, cfg.Slaves),
 	}
 	// Fixed topologies are born with the full roster; the elastic deploy
 	// resets joined and admits slaves one by one (admit).
@@ -266,6 +278,7 @@ func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 	}
 	m.occ[i] = hello.Occupancy
 	m.haveOcc[i] = true
+	m.lastWindow[i] = hello.WindowBytes
 	for _, ack := range hello.MoveACKs {
 		m.completeMove(ack)
 	}
@@ -310,6 +323,7 @@ func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 	if m.active[i] {
 		batch.Tuples = m.drainFor(i)
 	}
+	m.tuplesDrained += int64(len(batch.Tuples))
 	m.proc.Compute(m.cfg.Cost.Master(len(batch.Tuples)))
 	m.sending = batch
 	m.conn[i].Send(batch)

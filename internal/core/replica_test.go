@@ -1,0 +1,536 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/join"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// TestCrashRecoveryEquivalence is the crash-recovery acceptance test: a
+// three-slave cluster loses one slave mid-run to a deterministic fault
+// injection (JoinOptions.failAt — the slave delivers everything it produced,
+// then severs every connection at an exact epoch boundary, with no timer
+// deciding what was in flight). With buddy replication on, the crashed
+// slave's windows are promoted from its buddy's shadows, so the run must
+// produce *exactly* the brute-force ground-truth pair multiset — the same
+// multiset the static baseline produces (TestElasticEquivalence
+// establishes that baseline == brute force). With replication off, the same
+// crash visibly loses pairs, and the master's PairsLost estimate says so.
+//
+// The injection epoch sits mid-reorganization-interval (epoch 15 of K=10
+// intervals), so the eviction races no planned movement: what it races is
+// the replica delta stream itself, flushed for epoch 15 an instant before
+// the crash.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP test")
+	}
+	const failEpoch = 15 // 3.75s in: mid-interval, mid-workload
+	work := elasticWorkload(400, 8_000, 20, 48)
+	expected := bruteForcePairs(work)
+	if len(expected) < 1_000 {
+		t.Fatalf("vacuous workload: only %d expected pairs", len(expected))
+	}
+
+	run := func(t *testing.T, replicate bool) (map[pairFP]int, *fpSink, *Result) {
+		t.Helper()
+		cfg := elasticTestConfig()
+		cfg.MinSlaves = 3
+		cfg.Replicate = replicate
+		sink := newFPSink(t, false) // failAt delivers, then dies: sinks close cleanly
+		cfg.SinkAddr = sink.addr()
+
+		addrs := freePorts(t, 2)
+		ctl, res := addrs[0], addrs[1]
+		var wg sync.WaitGroup
+		slaveErr := make(chan error, cfg.Slaves)
+		for i := 0; i < cfg.Slaves; i++ {
+			opts := JoinOptions{}
+			if i == 0 {
+				opts.failAt = failEpoch
+			}
+			wg.Add(1)
+			go func(opts JoinOptions) {
+				defer wg.Done()
+				slaveErr <- ServeSlaveJoin(cfg, ctl, res, opts)
+			}(opts)
+		}
+		result, err := serveMasterElastic(cfg, ctl, res, t.Logf,
+			&listIngestor{tuples: append([]tuple.Tuple(nil), work...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(slaveErr)
+		failures := 0
+		for err := range slaveErr {
+			if err != nil {
+				failures++
+				t.Logf("slave exit (expected for the crashed one): %v", err)
+			}
+		}
+		if failures != 1 {
+			t.Errorf("%d slaves failed, want exactly 1 (the injected crash)", failures)
+		}
+		if result.Evictions != 1 {
+			t.Errorf("evictions = %d, want 1", result.Evictions)
+		}
+		return sink.finish(t), sink, result
+	}
+
+	t.Run("with-replication", func(t *testing.T) {
+		ms, sink, result := run(t, true)
+		diffMultisets(t, "crash with replication vs brute force", ms, expected)
+		if s := sink.tally.SeqDups(); s != 0 {
+			t.Errorf("collector flagged %d replayed batches — dedup had to absorb output", s)
+		}
+		if result.GroupsPromoted == 0 {
+			t.Error("no groups promoted from replicas — the crash recovery was vacuous")
+		}
+		if result.LostWindowTuples != 0 || result.PairsLost != 0 {
+			t.Errorf("master estimates loss despite full promotion: %d window tuples, %d pairs",
+				result.LostWindowTuples, result.PairsLost)
+		}
+		t.Logf("with replication: %d pairs (exact), %d groups promoted, pairs lost %d",
+			sink.tally.Pairs(), result.GroupsPromoted, result.PairsLost)
+	})
+
+	t.Run("without-replication", func(t *testing.T) {
+		ms, sink, result := run(t, false)
+		// The same crash without replicas: never an invented or duplicated
+		// pair, but strictly fewer than the ground truth — the lost windows
+		// are what the with-replication arm proves it keeps.
+		missing := 0
+		for fp, c := range expected {
+			if ms[fp] < c {
+				missing += c - ms[fp]
+			}
+		}
+		for fp, c := range ms {
+			if c > expected[fp] {
+				t.Fatalf("pair %+v delivered %d times, expected at most %d", fp, c, expected[fp])
+			}
+		}
+		if missing == 0 {
+			t.Error("no pairs lost without replication — the crash-recovery comparison is vacuous")
+		}
+		if result.GroupsPromoted != 0 {
+			t.Errorf("%d groups promoted with replication off", result.GroupsPromoted)
+		}
+		if result.LostWindowTuples == 0 || result.PairsLost == 0 {
+			t.Errorf("master failed to estimate the loss: %d window tuples, %d pairs",
+				result.LostWindowTuples, result.PairsLost)
+		}
+		t.Logf("without replication: %d pairs missing of %d, estimate %d (from %d window tuples)",
+			missing, sink.tally.Pairs()+int64(missing), result.PairsLost, result.LostWindowTuples)
+	})
+}
+
+// newTestMaster builds an elastic masterNode with every slot joined and
+// active, for driving the eviction state machine directly — no connections,
+// no clock dependence beyond move-issue timestamps nothing asserts on.
+func newTestMaster(t *testing.T, slaves int, replicate bool) *masterNode {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Slaves = slaves
+	cfg.MinSlaves = slaves
+	cfg.InitialActive = slaves
+	cfg.Replicate = replicate
+	m := newMaster(&cfg, engine.NewLiveEnv().NewProc("master-test"),
+		make([]engine.Conn, slaves), nil, nil)
+	m.elastic = true
+	return m
+}
+
+// directivesFor collects the pending directives for group g across every
+// slave's undelivered queue.
+func directivesFor(m *masterNode, g int32) []wire.Directive {
+	var out []wire.Directive
+	for i := range m.pendDir {
+		for _, d := range m.pendDir[i] {
+			if d.Group == g {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// TestHandleDeathPromotesToBuddy: an eviction with replication on turns every
+// group of the dead slave into a promotion directive at the dead slave's
+// buddy — the next roster slot, where its replicator has been shipping
+// deltas — and estimates no window loss.
+func TestHandleDeathPromotesToBuddy(t *testing.T) {
+	m := newTestMaster(t, 3, true)
+	m.lastWindow[0] = 512 * tuple.LogicalSize
+	owned := 0
+	for _, o := range m.groupOwner {
+		if o == 0 {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("slave 0 owns no groups")
+	}
+
+	m.handleDeath(0, "test")
+
+	if m.promotions != owned {
+		t.Errorf("promotions = %d, want %d (every group of the dead slave)", m.promotions, owned)
+	}
+	if got := len(m.pendDir[1]); got != owned {
+		t.Errorf("%d directives queued at the buddy, want %d", got, owned)
+	}
+	for _, d := range m.pendDir[1] {
+		if d.From != promoteFrom(0) {
+			t.Errorf("directive %+v: From = %d, want promoteFrom(0) = %d", d, d.From, promoteFrom(0))
+		}
+		if d.To != 1 {
+			t.Errorf("directive %+v targets slave %d, want the buddy (1)", d, d.To)
+		}
+		if !m.heldGroup[d.Group] {
+			t.Errorf("group %d not held during its promotion", d.Group)
+		}
+	}
+	if m.lostWindowTuples != 0 {
+		t.Errorf("lostWindowTuples = %d after full promotion, want 0", m.lostWindowTuples)
+	}
+	if !m.dead[0] || m.active[0] {
+		t.Error("dead slave not marked dead+inactive")
+	}
+}
+
+// TestHandleDeathCancelsUndeliveredMove: the consumer of a planned move dies
+// before the directive ever left the master — the move is cancelled outright
+// and the group stays, intact, with its supplier. No promotion, no adoption,
+// no replica is touched.
+func TestHandleDeathCancelsUndeliveredMove(t *testing.T) {
+	m := newTestMaster(t, 3, true)
+	// Give slave 2 everything, so the only group the eviction could touch is
+	// the one mid-move.
+	for g := range m.groupOwner {
+		m.groupOwner[g] = 2
+	}
+	const g = int32(0)
+	m.issueMove(g, 2, 0) // supplier 2 → consumer 0; directive still pending both sides
+	issued := m.movesIssued
+
+	m.handleDeath(0, "test")
+
+	if m.groupOwner[g] != 2 {
+		t.Errorf("group %d owner = %d after cancelled move, want the supplier (2)", g, m.groupOwner[g])
+	}
+	if m.heldGroup[g] {
+		t.Errorf("group %d still held after its move was cancelled", g)
+	}
+	if len(m.inflight) != 0 {
+		t.Errorf("%d moves still in flight, want 0", len(m.inflight))
+	}
+	if ds := directivesFor(m, g); len(ds) != 0 {
+		t.Errorf("directives %+v still queued for the cancelled move", ds)
+	}
+	if m.promotions != 0 || m.movesIssued != issued {
+		t.Errorf("cancellation issued new movements: %d promotions, %d moves (had %d)",
+			m.promotions, m.movesIssued, issued)
+	}
+}
+
+// TestHandleDeathRecoverLostTransit: the consumer dies after the supplier
+// already extracted the state toward it — the window contents are lost in
+// transit, but the *supplier's* buddy still holds the shadow (extraction only
+// drops the supplier's delta accumulator). The eviction must promote from the
+// supplier's buddy, not the dead consumer's.
+func TestHandleDeathRecoverLostTransit(t *testing.T) {
+	m := newTestMaster(t, 3, true)
+	for g := range m.groupOwner {
+		m.groupOwner[g] = 1
+	}
+	const g = int32(0)
+	m.issueMove(g, 1, 0)
+	// Simulate the directive having been delivered to both sides (the state
+	// is on the wire toward the doomed consumer).
+	m.pendDir[0], m.pendDir[1] = nil, nil
+
+	m.handleDeath(0, "test")
+
+	ds := directivesFor(m, g)
+	if len(ds) != 1 {
+		t.Fatalf("%d directives for the lost group, want 1 promotion", len(ds))
+	}
+	d := ds[0]
+	if d.From != promoteFrom(1) {
+		t.Errorf("promotion From = %d, want promoteFrom(supplier 1) = %d", d.From, promoteFrom(1))
+	}
+	// The supplier's buddy with slave 0 dead is slave 2.
+	if d.To != 2 {
+		t.Errorf("promotion targets slave %d, want the supplier's buddy (2)", d.To)
+	}
+	if m.promotions != 1 {
+		t.Errorf("promotions = %d, want 1", m.promotions)
+	}
+}
+
+// TestHandleDeathPromoteTargetDies: the fail-over unwind — the buddy itself
+// dies before acking a promotion. The second eviction must re-create the
+// group on another survivor (best-effort: the replica may be gone with the
+// buddy, but ownership and tuple flow must recover).
+func TestHandleDeathPromoteTargetDies(t *testing.T) {
+	m := newTestMaster(t, 3, true)
+	for g := range m.groupOwner {
+		m.groupOwner[g] = 0
+	}
+	m.handleDeath(0, "test")
+	// Promotions queued at slave 1; simulate their delivery, then kill 1
+	// before any ack.
+	delivered := len(m.pendDir[1])
+	if delivered == 0 {
+		t.Fatal("no promotions queued at the buddy")
+	}
+	m.pendDir[1] = nil
+
+	m.handleDeath(1, "test")
+
+	if got := len(m.pendDir[2]); got != delivered {
+		t.Errorf("%d directives re-issued at the last survivor, want %d", got, delivered)
+	}
+	for _, d := range m.pendDir[2] {
+		if d.From != promoteFrom(1) {
+			t.Errorf("directive %+v: From = %d, want promoteFrom(1) = %d (the dead promotion target)",
+				d, d.From, promoteFrom(1))
+		}
+	}
+	if len(m.inflight) != delivered {
+		t.Errorf("%d moves in flight, want %d re-issued promotions", len(m.inflight), delivered)
+	}
+}
+
+// TestHandleDeathAdoptsWithoutReplication: with replication off the eviction
+// falls back to empty adoptions spread over the survivors, and the window
+// loss estimate charges the dead slave's full last-reported footprint.
+func TestHandleDeathAdoptsWithoutReplication(t *testing.T) {
+	m := newTestMaster(t, 3, false)
+	const tuples = 768
+	m.lastWindow[0] = tuples * tuple.LogicalSize
+	owned := 0
+	for _, o := range m.groupOwner {
+		if o == 0 {
+			owned++
+		}
+	}
+
+	m.handleDeath(0, "test")
+
+	adopts := 0
+	for i := 1; i <= 2; i++ {
+		for _, d := range m.pendDir[i] {
+			if d.From != -1 {
+				t.Errorf("directive %+v: From = %d, want -1 (empty adoption)", d, d.From)
+			}
+			adopts++
+		}
+	}
+	if adopts != owned {
+		t.Errorf("%d adoptions, want %d", adopts, owned)
+	}
+	if m.promotions != 0 {
+		t.Errorf("promotions = %d with replication off, want 0", m.promotions)
+	}
+	if m.lostWindowTuples != tuples {
+		t.Errorf("lostWindowTuples = %d, want %d (full footprint, nothing promoted)",
+			m.lostWindowTuples, tuples)
+	}
+}
+
+// TestBuddyAfter pins the master's buddy walk to the slave-side rule (the
+// next live roster slot, cyclically): dead and released slots are skipped,
+// and a slave alone in the cluster has no buddy.
+func TestBuddyAfter(t *testing.T) {
+	m := newTestMaster(t, 4, true)
+	if b := m.buddyAfter(0); b != 1 {
+		t.Errorf("buddyAfter(0) = %d, want 1", b)
+	}
+	if b := m.buddyAfter(3); b != 0 {
+		t.Errorf("buddyAfter(3) = %d, want 0 (cyclic)", b)
+	}
+	m.dead[1] = true
+	m.shutdownSent[2] = true
+	if b := m.buddyAfter(0); b != 3 {
+		t.Errorf("buddyAfter(0) = %d with 1 dead and 2 released, want 3", b)
+	}
+	m.dead[3] = true
+	if b := m.buddyAfter(0); b != -1 {
+		t.Errorf("buddyAfter(0) = %d with no live peer, want -1", b)
+	}
+}
+
+// TestAccountWindowLossProrates: a mixed eviction (some groups promoted, some
+// adopted empty) charges only the adopted share of the footprint.
+func TestAccountWindowLoss(t *testing.T) {
+	m := newTestMaster(t, 3, true)
+	m.lastWindow[0] = 900 * tuple.LogicalSize
+	m.accountWindowLoss(0, 1, 2) // 1 adopted, 2 promoted: a third of the windows lost
+	if m.lostWindowTuples != 300 {
+		t.Errorf("lostWindowTuples = %d, want 300", m.lostWindowTuples)
+	}
+	m.lostWindowTuples = 0
+	m.accountWindowLoss(0, 0, 3)
+	if m.lostWindowTuples != 0 {
+		t.Errorf("lostWindowTuples = %d with nothing adopted, want 0", m.lostWindowTuples)
+	}
+}
+
+// replicaCfg builds the config a replicaSet test runs under; the elastic
+// deployment always forces block expiry, so that is what the shadows use.
+func replicaCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Expiry = join.ExpiryBlocks
+	return cfg
+}
+
+// TestReplicaSetApplyTake drives a replicaSet through the receive path —
+// reset snapshot, incremental deltas, an advancing expiry watermark — and
+// checks take returns exactly the surviving tuples, removing the shadow.
+func TestReplicaSetApplyTake(t *testing.T) {
+	cfg := replicaCfg()
+	rs := newReplicaSet(&cfg)
+
+	mk := func(stream tuple.StreamID, key, ts int32) tuple.Tuple {
+		return tuple.Tuple{Stream: stream, Key: key, TS: ts}
+	}
+	rs.apply(&wire.WindowDelta{
+		From: 0, Group: 7, Epoch: 1, Reset: true, Cutoff: -1_000_000,
+		Runs: [2][]tuple.Tuple{
+			{mk(tuple.S1, 1, 10), mk(tuple.S1, 2, 20)},
+			{mk(tuple.S2, 1, 15)},
+		},
+	})
+	rs.apply(&wire.WindowDelta{
+		From: 0, Group: 7, Epoch: 2, Cutoff: -1_000_000,
+		Runs: [2][]tuple.Tuple{
+			{mk(tuple.S1, 3, 30)},
+			{mk(tuple.S2, 2, 25), mk(tuple.S2, 3, 35)},
+		},
+	})
+	// A delta for another (src, group) must stay isolated.
+	rs.apply(&wire.WindowDelta{
+		From: 1, Group: 7, Epoch: 2, Cutoff: -1_000_000,
+		Runs: [2][]tuple.Tuple{{mk(tuple.S1, 9, 90)}, nil},
+	})
+
+	w, epoch, ok := rs.take(0, 7, 0)
+	if !ok {
+		t.Fatal("take found no shadow")
+	}
+	if epoch != 2 {
+		t.Errorf("shadow epoch = %d, want 2 (last applied)", epoch)
+	}
+	want := [2][]tuple.Tuple{
+		{mk(tuple.S1, 1, 10), mk(tuple.S1, 2, 20), mk(tuple.S1, 3, 30)},
+		{mk(tuple.S2, 1, 15), mk(tuple.S2, 2, 25), mk(tuple.S2, 3, 35)},
+	}
+	for s := 0; s < 2; s++ {
+		if len(w[s]) != len(want[s]) {
+			t.Fatalf("stream %d: %d tuples, want %d", s, len(w[s]), len(want[s]))
+		}
+		for i, p := range w[s] {
+			if p.Key != want[s][i].Key || p.TS != want[s][i].TS {
+				t.Errorf("stream %d slot %d: (key %d, ts %d), want (key %d, ts %d)",
+					s, i, p.Key, p.TS, want[s][i].Key, want[s][i].TS)
+			}
+		}
+	}
+	if _, _, ok := rs.take(0, 7, 0); ok {
+		t.Error("second take found the shadow again — promotion must consume it")
+	}
+	if w, _, ok := rs.take(1, 7, 0); !ok || len(w[0]) != 1 || w[0][0].Key != 9 {
+		t.Errorf("other owner's shadow disturbed: ok=%v %+v", ok, w)
+	}
+
+	// A reset supersedes everything applied before it.
+	rs.apply(&wire.WindowDelta{
+		From: 0, Group: 3, Epoch: 1, Reset: true, Cutoff: -1_000_000,
+		Runs: [2][]tuple.Tuple{{mk(tuple.S1, 1, 10)}, nil},
+	})
+	rs.apply(&wire.WindowDelta{
+		From: 0, Group: 3, Epoch: 5, Reset: true, Cutoff: -1_000_000,
+		Runs: [2][]tuple.Tuple{{mk(tuple.S1, 8, 80)}, nil},
+	})
+	if w, _, ok := rs.take(0, 3, 0); !ok || len(w[0]) != 1 || w[0][0].Key != 8 || len(w[1]) != 0 {
+		t.Errorf("reset did not supersede the prior shadow: ok=%v %+v", ok, w)
+	}
+}
+
+// TestReplicaSetSweep: shadows the owner keeps refreshing live forever;
+// orphaned ones are retired after the TTL.
+func TestReplicaSetSweep(t *testing.T) {
+	cfg := replicaCfg()
+	cfg.ReplicaTTL = 3
+	rs := newReplicaSet(&cfg)
+	wd := &wire.WindowDelta{From: 0, Group: 1, Epoch: 1, Cutoff: -1_000_000}
+	rs.apply(wd)
+	for i := 0; i < 3; i++ {
+		rs.sweep()
+	}
+	if _, _, ok := rs.take(0, 1, 0); !ok {
+		t.Fatal("shadow retired within its TTL")
+	}
+	rs.apply(wd)
+	rs.sweep()
+	rs.sweep()
+	rs.apply(wd) // owner refresh: idle count restarts
+	for i := 0; i < 3; i++ {
+		rs.sweep()
+	}
+	if _, _, ok := rs.take(0, 1, 0); !ok {
+		t.Fatal("refreshed shadow retired early")
+	}
+	rs.apply(wd)
+	for i := 0; i < 4; i++ {
+		rs.sweep()
+	}
+	if _, _, ok := rs.take(0, 1, 0); ok {
+		t.Fatal("orphaned shadow survived past its TTL")
+	}
+}
+
+// TestReplicaSetReaderBarrier: take waits on the owner's replication reader —
+// a closed reader releases it immediately, a stuck one only holds it for the
+// caller's patience.
+func TestReplicaSetReaderBarrier(t *testing.T) {
+	cfg := replicaCfg()
+	rs := newReplicaSet(&cfg)
+	rs.apply(&wire.WindowDelta{From: 4, Group: 2, Epoch: 1, Cutoff: -1_000_000})
+
+	ch := rs.beginReader(4)
+	rs.endReader(4, ch)
+	if _, _, ok := rs.take(4, 2, time.Hour); !ok { // must not block: reader done
+		t.Fatal("take missed the shadow after the reader ended")
+	}
+
+	rs.apply(&wire.WindowDelta{From: 4, Group: 2, Epoch: 2, Cutoff: -1_000_000})
+	_ = rs.beginReader(4) // never ends: patience bounds the wait
+	start := time.Now()
+	if _, _, ok := rs.take(4, 2, 10*time.Millisecond); !ok {
+		t.Fatal("take missed the shadow after its patience ran out")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("take blocked %v on a stuck reader", waited)
+	}
+
+	// A stale registration must not shadow a newer reader generation.
+	ch1 := rs.beginReader(9)
+	ch2 := rs.beginReader(9)
+	rs.endReader(9, ch1) // old generation: closed, but not deregistered over ch2
+	rs.lock()
+	cur := rs.readers[9]
+	rs.unlock()
+	if cur != ch2 {
+		t.Error("stale endReader deregistered the newer reader")
+	}
+	rs.endReader(9, ch2)
+}

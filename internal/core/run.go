@@ -72,6 +72,17 @@ type Result struct {
 	Evictions        int
 	GroupsRebalanced int
 	RebalanceStallMs int64
+
+	// Buddy-replication accounting (elastic runs with Replicate). A crashed
+	// slave's groups are promoted from their replicas when a buddy survives
+	// (GroupsPromoted) and adopted empty otherwise; LostWindowTuples
+	// estimates the window tuples discarded by those empty adoptions from
+	// the victim's last reported window size. PairsLost converts that to an
+	// estimated output deficit at the run's observed selectivity — an
+	// estimate, not a count: the true loss depends on which keys died.
+	GroupsPromoted   int
+	LostWindowTuples int64
+	PairsLost        int64
 }
 
 // MeanDelay is the average production delay over the measurement interval.

@@ -46,8 +46,21 @@ type slaveNode struct {
 	base   int64
 	epoch0 int64
 
+	// Buddy replication (nil unless the elastic deployment enabled
+	// cfg.Replicate). repl ships owned groups' window deltas to the buddy
+	// each epoch; rset holds the shadows other owners replicate here;
+	// preFlush runs before each epoch's Hello (the pair-sink delivery
+	// barrier, so downstream output never trails what the epoch reports);
+	// failHook is the fault-injection seam of the crash-recovery tests.
+	repl     *replicator
+	rset     *replicaSet
+	preFlush func()
+	failHook func(e int64)
+
 	// instrumentation
-	movesServed int64
+	movesServed    int64
+	groupsPromoted int64
+	promoteMisses  int64
 }
 
 func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []engine.Conn, coll engine.AsyncSender, runner engine.Runner) *slaveNode {
@@ -99,7 +112,19 @@ func (s *slaveNode) run() {
 		s.occN++
 
 		// Flush the previous epoch's results to the collector.
+		if s.preFlush != nil {
+			s.preFlush()
+		}
 		s.ws.flushResults(s.coll)
+		if s.repl != nil {
+			s.repl.flush(s.ws, e, msOf(s.proc.Now()))
+		}
+		if s.rset != nil {
+			s.rset.sweep()
+		}
+		if s.failHook != nil {
+			s.failHook(e)
+		}
 
 		avg := 0.0
 		if s.occN > 0 {
@@ -242,6 +267,9 @@ func (s *slaveNode) applyMembership(ms *wire.Membership) {
 		live[sp.ID] = true
 	}
 	s.ptab.prune(live)
+	if s.repl != nil {
+		s.repl.updateRoster(ms.Slaves)
+	}
 }
 
 func (s *slaveNode) supplyGroup(d wire.Directive) {
@@ -261,6 +289,12 @@ func (s *slaveNode) supplyGroup(d wire.Directive) {
 }
 
 func (s *slaveNode) consumeGroup(d wire.Directive) {
+	if d.From <= -2 {
+		// Promotion order: the previous owner crashed, but its windows were
+		// chain-replicated here — install the local shadow (replica.go).
+		s.promoteGroup(d)
+		return
+	}
 	var msg *wire.StateTransfer
 	switch {
 	case d.From < 0:
@@ -278,9 +312,19 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 			tolerateTCP(func() { msg = s.recvTransfer(p, d) })
 		}
 		if msg == nil {
-			// The supplier died before (or while) shipping the state: the
-			// window contents are lost. Fall back to an empty install and
-			// ack, so the movement still completes.
+			// The supplier died before (or while) shipping the state. If
+			// this slave happens to be its buddy, the group's shadow is
+			// local — install that instead of losing the windows.
+			if st, ok := s.takeReplica(d.From, d.Group); ok {
+				s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples()))
+				if err := s.ws.installState(st, nil); err != nil {
+					panic(err)
+				}
+				s.acks = append(s.acks, d.MoveID)
+				return
+			}
+			// Otherwise the window contents are lost. Fall back to an empty
+			// install and ack, so the movement still completes.
 			msg = &wire.StateTransfer{
 				MoveID:  d.MoveID,
 				Group:   d.Group,

@@ -44,6 +44,10 @@ type joinWorker struct {
 	// Query 0 — the legacy batch.
 	rbs []*wire.ResultBatch
 
+	// repl accumulates per-group window deltas for buddy replication
+	// (replica.go); only populated when the workerSet replicates.
+	repl map[int32]*replDelta
+
 	// instrumentation
 	outputs   int64
 	roundsRun int64
@@ -55,6 +59,11 @@ type workerSet struct {
 	slave   int32
 	runner  engine.Runner
 	workers []*joinWorker
+
+	// replicate turns on per-round delta capture for buddy replication;
+	// set once before the slave loop starts (elastic deployment with
+	// cfg.Replicate).
+	replicate bool
 
 	// nowMs overrides the round-timestamp clock (worker wall clock when
 	// nil); deterministic tests pin it to epoch boundaries.
@@ -87,6 +96,7 @@ func newWorkerSet(cfg *Config, slave int32, runner engine.Runner) *workerSet {
 			input:    make(map[int32][]tuple.Tuple),
 			rbs:      rbs,
 			curChunk: cfg.ChunkTuples,
+			repl:     make(map[int32]*replDelta),
 		}
 	}
 	return ws
@@ -204,6 +214,7 @@ func (ws *workerSet) extractGroup(id int32) (join.State, []tuple.Tuple) {
 	g, _ := w.mod.Remove(id)
 	pending := w.input[id]
 	delete(w.input, id)
+	delete(w.repl, id) // the new owner re-replicates from its own snapshot
 	w.backlog -= int64(len(pending))
 	return g.Extract(), pending
 }
@@ -214,6 +225,11 @@ func (ws *workerSet) installState(st join.State, pending []tuple.Tuple) error {
 	w := ws.workerOf(st.ID)
 	if err := w.mod.Install(st); err != nil {
 		return err
+	}
+	if ws.replicate {
+		// The group's replica chain restarts here: the next epoch flush
+		// ships its full window to this slave's buddy.
+		ws.markReplReset(st)
 	}
 	if len(pending) > 0 {
 		w.input[st.ID] = append(w.input[st.ID], pending...)
@@ -316,6 +332,9 @@ func (w *joinWorker) takeChunk(g int32) []tuple.Tuple {
 // records the production delays of each query's outputs into that query's
 // result batch.
 func (w *joinWorker) runRound(ws *workerSet, g int32, chunk []tuple.Tuple) {
+	if ws.replicate && len(chunk) > 0 {
+		w.captureRepl(g, chunk)
+	}
 	results := w.mod.ProcessAll(g, ws.roundNow(w), chunk)
 	// Shared round work (ingest, expiry, tuning) is charged to results[0]
 	// only, so summing per-query costs double-counts nothing.

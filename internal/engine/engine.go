@@ -58,6 +58,14 @@ type Stats struct {
 	// nil until a sink ships pairs; a single-query run charges everything
 	// under query 0.
 	SinkQueryPairs map[int32]int64
+
+	// Buddy-replication counters (crash-recovery window replication; zero
+	// with Replicate off). Sent counts cover the deltas a slave ships to
+	// its buddy, Recv the deltas it applies as the buddy of others.
+	ReplDeltasSent int64
+	ReplTuplesSent int64
+	ReplDeltasRecv int64
+	ReplTuplesRecv int64
 }
 
 // Sub returns s minus t field-by-field (measurement-interval isolation).
@@ -97,6 +105,11 @@ func (s Stats) Sub(t Stats) Stats {
 		SinkPairs: s.SinkPairs - t.SinkPairs,
 		SinkBytes: s.SinkBytes - t.SinkBytes,
 		SinkStall: s.SinkStall - t.SinkStall,
+
+		ReplDeltasSent: s.ReplDeltasSent - t.ReplDeltasSent,
+		ReplTuplesSent: s.ReplTuplesSent - t.ReplTuplesSent,
+		ReplDeltasRecv: s.ReplDeltasRecv - t.ReplDeltasRecv,
+		ReplTuplesRecv: s.ReplTuplesRecv - t.ReplTuplesRecv,
 	}
 }
 

@@ -130,6 +130,18 @@ func (p *LiveProc) addSink(query int32, pairs, bytes int64, stall time.Duration)
 	p.mu.Unlock()
 }
 
+// AddRepl folds buddy-replication activity into the process stats: deltas
+// and tuples shipped to the buddy (the owner-side epoch flush) and applied
+// from other owners (the buddy-side replica readers).
+func (p *LiveProc) AddRepl(deltasSent, tuplesSent, deltasRecv, tuplesRecv int64) {
+	p.mu.Lock()
+	p.stats.ReplDeltasSent += deltasSent
+	p.stats.ReplTuplesSent += tuplesSent
+	p.stats.ReplDeltasRecv += deltasRecv
+	p.stats.ReplTuplesRecv += tuplesRecv
+	p.mu.Unlock()
+}
+
 // pipeConn is one end of an in-process rendezvous connection: unbuffered
 // channels give MPI-like blocking semantics.
 type pipeConn struct {

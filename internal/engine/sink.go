@@ -70,12 +70,15 @@ type SocketSink struct {
 	stall   atomic.Int64 // ns
 }
 
-// sinkBatch is one Emit hand-off in flight to the writer goroutine.
+// sinkBatch is one Emit hand-off in flight to the writer goroutine. A
+// batch with a non-nil barrier carries no pairs: the writer flushes the
+// connection and signals, realizing FlushBarrier.
 type sinkBatch struct {
-	query int32
-	group int32
-	epoch int64
-	pairs []join.Pair
+	query   int32
+	group   int32
+	epoch   int64
+	pairs   []join.Pair
+	barrier chan<- struct{}
 }
 
 // DefaultSinkQueue is the in-flight queue depth when the caller passes 0:
@@ -216,6 +219,15 @@ func (s *SocketSink) writeNext() bool {
 // writeBatch encodes one batch (unless the sink already failed), recycles
 // its buffer, and flushes if the queue is idle.
 func (s *SocketSink) writeBatch(b sinkBatch) {
+	if b.barrier != nil {
+		if s.err.Load() == nil {
+			if err := s.flush(); err != nil {
+				s.fail(err)
+			}
+		}
+		close(b.barrier)
+		return
+	}
 	if s.err.Load() == nil {
 		if err := s.write(b); err != nil {
 			s.fail(err)
@@ -301,6 +313,25 @@ func (s *SocketSink) Err() error {
 // included), cumulative Emit stall time, and pairs dropped after a failure.
 func (s *SocketSink) Stats() (pairs, bytes int64, stall time.Duration, dropped int64) {
 	return s.pairs.Load(), s.bytes.Load(), time.Duration(s.stall.Load()), s.dropped.Load()
+}
+
+// FlushBarrier blocks until every batch emitted before the call has been
+// encoded and flushed to the connection (or the sink has failed): once it
+// returns, the kernel holds every pair the join has produced so far, so
+// even an abrupt process death cannot lose output already reported. The
+// replicating elastic slave runs one barrier per epoch. Safe to call
+// concurrently with Emit; must not race Close.
+func (s *SocketSink) FlushBarrier() {
+	done := make(chan struct{})
+	select {
+	case s.q <- sinkBatch{barrier: done}:
+	case <-s.failed:
+		return
+	}
+	select {
+	case <-done:
+	case <-s.failed:
+	}
 }
 
 // Close drains and flushes everything pending, closes the connection, and

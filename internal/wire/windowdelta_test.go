@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamjoin/internal/tuple"
+)
+
+func randDeltaRun(r *rand.Rand, n int) []tuple.Tuple {
+	if n == 0 {
+		return nil // like a decode
+	}
+	run := make([]tuple.Tuple, n)
+	ts := int32(r.Intn(1000))
+	for i := range run {
+		ts += int32(r.Intn(5))
+		run[i] = tuple.Tuple{
+			Stream: tuple.StreamID(r.Intn(2)),
+			Key:    r.Int31n(1 << 20),
+			TS:     ts,
+		}
+	}
+	return run
+}
+
+func randWindowDelta(r *rand.Rand, n0, n1 int) *WindowDelta {
+	return &WindowDelta{
+		From:   r.Int31n(16),
+		Group:  r.Int31n(64),
+		Epoch:  r.Int63n(1 << 30),
+		Reset:  r.Intn(2) == 0,
+		Cutoff: r.Int31n(1 << 20),
+		Runs:   [2][]tuple.Tuple{randDeltaRun(r, n0), randDeltaRun(r, n1)},
+	}
+}
+
+// TestWindowDeltaRoundTrip checks Marshal/Unmarshal identity across run
+// shapes, empty runs included, plus the WireSize accounting.
+func TestWindowDeltaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, shape := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {5, 7}, {256, 9}, {1000, 1000}} {
+		in := randWindowDelta(r, shape[0], shape[1])
+		out, err := Unmarshal(Marshal(in))
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		got, ok := out.(*WindowDelta)
+		if !ok {
+			t.Fatalf("shape %v: decoded %T", shape, out)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("shape %v:\ngot  %+v\nwant %+v", shape, got, in)
+		}
+		want := int64(headerSize+21) + tuple.LogicalSize*int64(shape[0]+shape[1])
+		if in.WireSize() != want {
+			t.Fatalf("shape %v: WireSize = %d, want %d", shape, in.WireSize(), want)
+		}
+	}
+}
+
+// TestWindowDeltaTruncated replays every strict prefix of an encoded delta;
+// each must fail cleanly (no panic, no fabricated message).
+func TestWindowDeltaTruncated(t *testing.T) {
+	full := Marshal(randWindowDelta(rand.New(rand.NewSource(7)), 6, 3))
+	for cut := 0; cut < len(full); cut++ {
+		if got, err := Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("prefix %d of %d decoded as %v", cut, len(full), got.Kind())
+		}
+	}
+}
+
+// windowDeltaCountOff locates the run-count prefixes inside an encoding:
+// kind(1) + from(4) + group(4) + epoch(8) + reset(1) + cutoff(4), then
+// count0(4) + 9 bytes per run-0 tuple, then count1.
+const windowDeltaCountOff = 1 + 4 + 4 + 8 + 1 + 4
+
+// TestWindowDeltaMutatedCount rewrites both run-count prefixes of a valid
+// encoding to every interesting wrong value: decoding must error and must
+// never panic.
+func TestWindowDeltaMutatedCount(t *testing.T) {
+	in := randWindowDelta(rand.New(rand.NewSource(9)), 4, 2)
+	full := Marshal(in)
+	off1 := windowDeltaCountOff + 4 + tupleEncSize*len(in.Runs[0])
+	for _, off := range []int{windowDeltaCountOff, off1} {
+		for _, count := range []uint32{1, 3, 5, 1 << 16, 1 << 27, 1<<28 + 1, ^uint32(0)} {
+			buf := append([]byte(nil), full...)
+			binary.BigEndian.PutUint32(buf[off:], count)
+			if m, err := Unmarshal(buf); err == nil {
+				t.Fatalf("count %d at offset %d accepted as %v", count, off, m.Kind())
+			}
+		}
+	}
+}
+
+// TestWindowDeltaCorruptCountNoGiantAlloc proves a huge run count over a tiny
+// body cannot force a proportional preallocation: decoding the corrupt
+// message must stay within a small allocation budget.
+func TestWindowDeltaCorruptCountNoGiantAlloc(t *testing.T) {
+	buf := Marshal(randWindowDelta(rand.New(rand.NewSource(1)), 2, 0))
+	binary.BigEndian.PutUint32(buf[windowDeltaCountOff:], 1<<28)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Fatal("corrupt count accepted")
+		}
+	})
+	// The decoder may allocate the message struct and a capped run slice; a
+	// giant prealloc would show up as megabytes, not a handful of allocs.
+	if allocs > 8 {
+		t.Fatalf("corrupt count cost %.0f allocs/op", allocs)
+	}
+	var wd WindowDelta
+	d := &decoder{buf: buf[1:]}
+	if err := wd.decodeFrom(d); err == nil {
+		t.Fatal("corrupt count accepted by decodeFrom")
+	}
+	if cap(wd.Runs[0]) > 8 || cap(wd.Runs[1]) > 8 {
+		t.Fatalf("corrupt count preallocated %d/%d run slots", cap(wd.Runs[0]), cap(wd.Runs[1]))
+	}
+}
+
+// TestWindowDeltaFramedRoundTrip runs deltas through the batched physical
+// framing alongside other kinds, as the replication stream does in
+// production.
+func TestWindowDeltaFramedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	msgs := []Message{
+		randWindowDelta(r, 3, 0),
+		&Hello{Slave: 1, Epoch: 2},
+		randWindowDelta(r, 0, 0),
+		randMembership(r, 2),
+		randWindowDelta(r, 40, 40),
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, 0)
+	for _, m := range msgs {
+		if err := fw.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range msgs {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// FuzzWindowDeltaDecode feeds arbitrary bytes to the decoder: it must never
+// panic, and every accepted message must re-encode to the same bytes.
+func FuzzWindowDeltaDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(11))
+	f.Add(Marshal(randWindowDelta(r, 4, 4)))
+	f.Add(Marshal(randWindowDelta(r, 0, 0)))
+	f.Add([]byte{byte(KindWindowDelta)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Marshal(m), data) {
+			t.Fatalf("accepted message %+v does not re-encode to its input", m)
+		}
+	})
+}

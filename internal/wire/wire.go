@@ -57,6 +57,12 @@ const (
 	KindMembership
 	KindPing
 	KindPong
+	// KindWindowDelta belongs to the crash-recovery replication extension:
+	// each epoch, a partition-group's owner ships the window rows it ingested
+	// (plus an expiry watermark) to its buddy slave, which maintains a shadow
+	// copy promoted on eviction. Never sent unless replication is enabled, so
+	// both fixed and replication-off elastic traffic stay byte-identical.
+	KindWindowDelta
 )
 
 func (k Kind) String() string {
@@ -85,6 +91,8 @@ func (k Kind) String() string {
 		return "Ping"
 	case KindPong:
 		return "Pong"
+	case KindWindowDelta:
+		return "WindowDelta"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -149,6 +157,8 @@ func decodeMessage(d *decoder) (Message, error) {
 		m = &Ping{}
 	case KindPong:
 		m = &Pong{}
+	case KindWindowDelta:
+		m = &WindowDelta{}
 	case KindResultBatchQ, KindPairBatchQ:
 		// Query-tagged variants: a non-zero query id precedes the legacy
 		// body. Query 0 must use the legacy kind (the canonical encoding),
@@ -460,6 +470,43 @@ func (*Pong) Kind() Kind { return KindPong }
 
 // WireSize implements Message.
 func (*Pong) WireSize() int64 { return headerSize + 12 }
+
+// WindowDelta replicates one partition-group's window growth owner→buddy: the
+// per-stream tuple runs the owner ingested since its previous delta (temporal
+// order, exactly as they entered the window stores) and the expiry watermark
+// its last processing round applied. The buddy appends the runs to its shadow
+// stores and trims them at the watermark, so the replica tracks the primary's
+// semantic window one epoch behind. Reset marks a full-window snapshot — sent
+// when a group is first adopted or changes buddy — telling the receiver to
+// discard any stale replica before applying. Epoch is the owner's distribution
+// epoch the delta closes; it is monotone per (From, Group), letting receivers
+// drop stale re-deliveries and prune replicas whose owner stopped refreshing.
+//
+// Paper correspondence: the follow-up paper ("Processing Database Joins over a
+// Shared-Nothing System of Multicore Machines", PAPERS.md) treats window state
+// as an ordinarily transferable asset between shared-nothing nodes; WindowDelta
+// extends that from movement to continuous replication so eviction (elastic
+// membership, PR 7) no longer erases the lost node's windows.
+type WindowDelta struct {
+	From   int32 // replicating owner's slave id
+	Group  int32 // partition-group the delta shadows
+	Epoch  int64 // owner's distribution epoch this delta closes
+	Reset  bool  // full snapshot: discard prior replica state first
+	Cutoff int32 // expiry watermark: window rows with TS < Cutoff are dead
+	// Runs holds, per stream, the tuples ingested since the previous delta
+	// (or the full window when Reset), in the temporal order the owner's
+	// stores hold them.
+	Runs [2][]tuple.Tuple
+}
+
+// Kind implements Message.
+func (*WindowDelta) Kind() Kind { return KindWindowDelta }
+
+// WireSize implements Message.
+func (wd *WindowDelta) WireSize() int64 {
+	n := int64(len(wd.Runs[0]) + len(wd.Runs[1]))
+	return headerSize + 21 + tuple.LogicalSize*n
+}
 
 // --- encoding helpers ---
 
@@ -882,5 +929,31 @@ func (p *Pong) appendTo(b []byte) []byte {
 func (p *Pong) decodeFrom(d *decoder) error {
 	p.Slave = d.i32()
 	p.Seq = d.i64()
+	return d.err
+}
+
+func (wd *WindowDelta) appendTo(b []byte) []byte {
+	b = appendI32(b, wd.From)
+	b = appendI32(b, wd.Group)
+	b = appendI64(b, wd.Epoch)
+	b = appendBool(b, wd.Reset)
+	b = appendI32(b, wd.Cutoff)
+	b = appendTuples(b, wd.Runs[0])
+	return appendTuples(b, wd.Runs[1])
+}
+
+func (wd *WindowDelta) decodeFrom(d *decoder) error {
+	wd.From = d.i32()
+	wd.Group = d.i32()
+	wd.Epoch = d.i64()
+	wd.Reset = d.bool()
+	wd.Cutoff = d.i32()
+	// tuples() caps its preallocation at what the remaining bytes could hold,
+	// so a corrupt run count cannot force a giant allocation.
+	wd.Runs[0] = d.tuples()
+	wd.Runs[1] = d.tuples()
+	if d.err != nil {
+		wd.Runs[0], wd.Runs[1] = nil, nil
+	}
 	return d.err
 }
