@@ -1,0 +1,97 @@
+// Command sjoin-chaos is a fault-injecting TCP proxy built on
+// internal/faultnet: it listens on -listen and pipes each accepted
+// connection to -target through the fault transport, so real sjoin-*
+// processes that know nothing about fault injection can be driven through
+// latency, throttling, stalls, and resets. Connections are selected by
+// accept ordinal, never by wall-clock, so a scripted run (the chaos e2e CI
+// job) hits the same connection at the same protocol point every time.
+//
+//	sjoin-chaos -listen :7450 -target 127.0.0.1:7440 \
+//	    -latency 2ms -jitter 1ms -reset-conn 2 -reset-after 256 &
+//	sjoin-master -ctl 127.0.0.1:7440 ...
+//	sjoin-slave  -join 127.0.0.1:7450 ...   # dials the master through the proxy
+//
+// Every injection is logged to stderr ("faultnet: conn 2 ... reset after
+// 256 bytes"), which the e2e script greps to prove the fault actually fired.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamjoin/internal/faultnet"
+)
+
+func main() {
+	listen := flag.String("listen", "", "address to accept connections on (required)")
+	target := flag.String("target", "", "address every connection is piped to (required)")
+	seed := flag.Int64("seed", 1, "seed for the fault transport's random draws (jitter)")
+	latency := flag.Duration("latency", 0, "added before every proxied write, all connections")
+	jitter := flag.Duration("jitter", 0, "per-write uniform extra latency in [0, jitter), seeded")
+	bandwidth := flag.Int64("bandwidth", 0, "cap proxied write throughput to this many bytes/sec (0 = unlimited)")
+	resetConn := flag.Int("reset-conn", 0, "reset the Nth accepted connection (1-based; 0 = never)")
+	resetAfter := flag.Int64("reset-after", 4096, "bytes the reset connection may carry toward the target before it is killed")
+	stallConn := flag.Int("stall-conn", 0, "stall the Nth accepted connection (1-based; 0 = never)")
+	stallAfter := flag.Int64("stall-after", 0, "bytes toward the target before the stalled connection freezes")
+	stall := flag.Duration("stall", 0, "how long the stalled connection freezes")
+	flag.Parse()
+
+	if *listen == "" || *target == "" {
+		fatal(fmt.Errorf("-listen and -target are both required"))
+	}
+
+	// The proxy dials the target for every accepted connection, so dial-side
+	// rules with an empty Addr match each proxied connection exactly once and
+	// ordinals count in accept order.
+	var rules []*faultnet.Rule
+	if *latency > 0 || *jitter > 0 || *bandwidth > 0 {
+		rules = append(rules, &faultnet.Rule{
+			Latency:      *latency,
+			Jitter:       *jitter,
+			BandwidthBps: *bandwidth,
+		})
+	}
+	if *resetConn > 0 {
+		rules = append(rules, &faultnet.Rule{Ordinal: *resetConn, ResetAfter: *resetAfter})
+	}
+	if *stallConn > 0 {
+		if *stall <= 0 {
+			fatal(fmt.Errorf("-stall-conn requires a positive -stall duration"))
+		}
+		rules = append(rules, &faultnet.Rule{
+			Ordinal:         *stallConn,
+			WriteStallAfter: *stallAfter,
+			Stall:           *stall,
+		})
+	}
+	if len(rules) == 0 {
+		fmt.Fprintln(os.Stderr, "sjoin-chaos: no fault flags set; proxying transparently")
+	}
+
+	tr := faultnet.New(*seed, rules...)
+	tr.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	p, err := faultnet.NewProxy(*listen, *target, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sjoin-chaos: %s -> %s (%d rules, seed %d)\n",
+		p.Addr(), *target, len(rules), *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	p.Close()
+	// Give the pipe goroutines' close logs a beat to land before exit.
+	time.Sleep(50 * time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sjoin-chaos:", err)
+	os.Exit(1)
+}

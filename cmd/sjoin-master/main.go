@@ -67,6 +67,10 @@ func main() {
 	fmt.Printf("average delay:  %v\n", r.MeanDelay())
 	fmt.Printf("epochs served:  %d\n", r.EpochsServed)
 	fmt.Printf("movements:      %d completed\n", r.MovesCompleted)
+	if r.MovesDegraded > 0 {
+		fmt.Printf("degraded moves: %d (state lost in transit; windows restarted empty)\n",
+			r.MovesDegraded)
+	}
 	fmt.Printf("master comm:    %v\n", r.Master.Comm.Round(time.Millisecond))
 	if cfg.MinSlaves > 0 {
 		fmt.Printf("membership:     %d joins, %d leaves, %d evictions\n",

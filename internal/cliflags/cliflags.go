@@ -100,6 +100,9 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		hbmiss   = fs.Int("heartbeat-misses", def.HeartbeatMisses, "elastic membership: consecutive missed heartbeats before a slave is declared dead")
 		repl     = fs.Bool("replicate", def.Replicate, "elastic membership: chain-replicate each slave's window state to a buddy every epoch, so a crashed slave's groups are promoted from their replicas instead of restarting empty (requires -min-slaves > 0)")
 		replTTL  = fs.Int("replica-ttl", def.ReplicaTTL, "epochs a buddy retains a replica not refreshed by its owner before discarding it (0 = default)")
+		wiredl   = fs.Duration("wire-deadline", 30*time.Second, "per-operation write deadline on every live connection; idle read deadlines derive from it (0 disables all wire deadlines)")
+		formto   = fs.Duration("form-timeout", 2*time.Minute, "cluster formation timeout: how long the elastic master waits for -min-slaves joiners")
+		spool    = fs.Int64("sink-spool", 1<<20, "bytes of pair batches spooled in memory while a downstream sink connection is being re-dialed; overflow is dropped and accounted (0 = legacy fail-fast: first sink write error kills the slave)")
 	)
 	prober := def.LiveProber
 	fs.Func("prober", `live join prober: "hash" (key-index, default) or "scan" (nested-loop ablation)`,
@@ -166,6 +169,20 @@ func Bind(fs *flag.FlagSet) func() core.Config {
 		cfg.HeartbeatMisses = *hbmiss
 		cfg.Replicate = *repl
 		cfg.ReplicaTTL = *replTTL
+		// Zero means "explicitly disabled" on the flag surface but "use the
+		// default" on the Config struct, so disabling maps to the negative
+		// sentinel.
+		if *wiredl <= 0 {
+			cfg.WireDeadlineMs = -1
+		} else {
+			cfg.WireDeadlineMs = int32(*wiredl / time.Millisecond)
+		}
+		cfg.FormTimeoutMs = int32(*formto / time.Millisecond)
+		if *spool <= 0 {
+			cfg.SinkSpoolBytes = -1
+		} else {
+			cfg.SinkSpoolBytes = *spool
+		}
 		return cfg
 	}
 }

@@ -73,6 +73,46 @@ func TestElasticFlags(t *testing.T) {
 	}
 }
 
+func TestWireHardeningFlags(t *testing.T) {
+	parse := func(args ...string) core.Config {
+		t.Helper()
+		fs := flag.NewFlagSet("t", flag.PanicOnError)
+		get := Bind(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return get()
+	}
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		wire  int32
+		form  int32
+		spool int64
+	}{
+		// Defaults: 30s deadline, 2m formation, 1MB spool.
+		{name: "defaults", wire: 30_000, form: 120_000, spool: 1 << 20},
+		{name: "tuned", args: []string{"-wire-deadline", "5s", "-form-timeout", "45s", "-sink-spool", "4194304"},
+			wire: 5_000, form: 45_000, spool: 4 << 20},
+		// Zero on the flag surface means "off", which the Config encodes as
+		// the negative sentinel (0 there means "use the default").
+		{name: "disabled", args: []string{"-wire-deadline", "0", "-sink-spool", "0"},
+			wire: -1, form: 120_000, spool: -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := parse(tc.args...)
+			if cfg.WireDeadlineMs != tc.wire || cfg.FormTimeoutMs != tc.form || cfg.SinkSpoolBytes != tc.spool {
+				t.Fatalf("wire=%d form=%d spool=%d, want %d/%d/%d",
+					cfg.WireDeadlineMs, cfg.FormTimeoutMs, cfg.SinkSpoolBytes,
+					tc.wire, tc.form, tc.spool)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 func TestSinkFlag(t *testing.T) {
 	parse := func(args ...string) (core.Config, error) {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"streamjoin/internal/engine"
 	"streamjoin/internal/join"
 	"streamjoin/internal/simnet"
 	"streamjoin/internal/tuple"
@@ -236,6 +237,37 @@ type Config struct {
 	// without a delta before the buddy retires it (orphan collection after
 	// the owner switched buddies or shed the group). 0 means the default 8.
 	ReplicaTTL int
+
+	// --- transport hardening (TCP deployment only) ---
+
+	// Transport is the dial/listen seam every live connection is created
+	// through: control, mesh, results, heartbeat, replication, and sink.
+	// nil means the operating system's TCP stack (engine.TCP); tests inject
+	// a fault-injecting transport (internal/faultnet) here.
+	Transport engine.Transport
+	// WireDeadlineMs is the per-operation write deadline, in milliseconds,
+	// armed on every live connection — a peer that stops draining (TCP
+	// zero-window, half-open conn) fails the write within this bound
+	// instead of wedging the epoch barrier, which feeds the same
+	// failure-handling path a closed connection does. Read deadlines are
+	// derived from it with cadence margins (see wireDeadline and friends).
+	// 0 means the default 30 s; negative disables all wire deadlines.
+	WireDeadlineMs int32
+	// FormTimeoutMs bounds how long the elastic master waits for MinSlaves
+	// joiners before giving up, and pads the first control-connection read
+	// on every slave (which legitimately idles until the cluster forms).
+	// 0 means the default 2 minutes.
+	FormTimeoutMs int32
+	// DialBudgetMs is the overall budget of one dialRetry: attempts with
+	// jittered exponential backoff continue until the budget is exhausted.
+	// 0 means the default 20 s.
+	DialBudgetMs int32
+	// SinkSpoolBytes bounds the pair bytes a slave's SocketSink spools in
+	// memory while reconnecting to a dead downstream consumer; batches
+	// beyond the cap are dropped and accounted (Stats dropped counter).
+	// 0 means the default 1 MiB; negative disables reconnection entirely,
+	// restoring the pre-PR-9 fail-fast drop.
+	SinkSpoolBytes int64
 }
 
 // DefaultConfig returns the paper's Table I defaults on the calibrated
@@ -330,6 +362,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: Replicate requires the elastic deployment (MinSlaves > 0)")
 	case c.ReplicaTTL < 0:
 		return fmt.Errorf("core: ReplicaTTL = %d, want >= 0 (0 = default)", c.ReplicaTTL)
+	case c.FormTimeoutMs < 0:
+		return fmt.Errorf("core: FormTimeoutMs = %d, want >= 0 (0 = default)", c.FormTimeoutMs)
+	case c.DialBudgetMs < 0:
+		return fmt.Errorf("core: DialBudgetMs = %d, want >= 0 (0 = default)", c.DialBudgetMs)
 	case c.CountOnly && c.Sink != nil:
 		return fmt.Errorf("core: CountOnly skips materialization, so Sink would never fire")
 	case c.SinkAddr != "" && c.CountOnly:
@@ -528,6 +564,104 @@ func (c *Config) initialActive() int {
 		return c.Slaves
 	}
 	return c.InitialActive
+}
+
+// transport resolves Transport (nil = the OS TCP stack).
+func (c *Config) transport() engine.Transport {
+	if c.Transport != nil {
+		return c.Transport
+	}
+	return engine.TCP
+}
+
+// wireDeadline resolves WireDeadlineMs into the per-write deadline armed on
+// every live connection (0 = deadlines disabled).
+func (c *Config) wireDeadline() time.Duration {
+	switch {
+	case c.WireDeadlineMs < 0:
+		return 0
+	case c.WireDeadlineMs == 0:
+		return 30 * time.Second
+	}
+	return time.Duration(c.WireDeadlineMs) * time.Millisecond
+}
+
+// meshReadDeadline is the idle read deadline of mesh, replication, and
+// heartbeat connections: the wire deadline plus one reorganization epoch,
+// the longest legitimate gap between messages on those paths (state arrives
+// within the directive's epoch, replication deltas and heartbeats far more
+// often — the margin is deliberately generous so a deadline trip means a
+// genuinely wedged peer, not a slow one).
+func (c *Config) meshReadDeadline() time.Duration {
+	wd := c.wireDeadline()
+	if wd == 0 {
+		return 0
+	}
+	return wd + time.Duration(c.ReorgEpochMs)*time.Millisecond
+}
+
+// meshPatience bounds how long a slave waits for a peer connection to
+// appear in its mesh table before treating the peer as unreachable. It must
+// stay below ctlReadDeadline — a supplier blocked on an absent consumer has
+// to report its next Hello before the master's control deadline declares
+// *it* dead — which meshReadDeadline guarantees by construction.
+func (c *Config) meshPatience() time.Duration {
+	if d := c.meshReadDeadline(); d > 0 {
+		return d
+	}
+	return 15 * time.Second
+}
+
+// ctlReadDeadline is the idle read deadline of control connections after
+// formation. It exceeds meshReadDeadline by one wire deadline on purpose:
+// a slave wedged on a mesh read recovers (and sends its Hello) strictly
+// before the master's control read gives up on it, so a transient mesh
+// stall degrades that one state move instead of evicting a live slave —
+// while a slave wedged for good still escalates into the same eviction
+// path heartbeat death uses.
+func (c *Config) ctlReadDeadline() time.Duration {
+	wd := c.wireDeadline()
+	if wd == 0 {
+		return 0
+	}
+	return 2*wd + time.Duration(c.ReorgEpochMs)*time.Millisecond
+}
+
+// formReadDeadline pads a slave's first control read, which legitimately
+// idles from registration until the cluster forms.
+func (c *Config) formReadDeadline() time.Duration {
+	if c.wireDeadline() == 0 {
+		return 0
+	}
+	return c.formTimeout() + c.ctlReadDeadline()
+}
+
+// formTimeout resolves FormTimeoutMs (0 = default 2 minutes).
+func (c *Config) formTimeout() time.Duration {
+	if c.FormTimeoutMs > 0 {
+		return time.Duration(c.FormTimeoutMs) * time.Millisecond
+	}
+	return 2 * time.Minute
+}
+
+// dialBudget resolves DialBudgetMs (0 = default 20 s).
+func (c *Config) dialBudget() time.Duration {
+	if c.DialBudgetMs > 0 {
+		return time.Duration(c.DialBudgetMs) * time.Millisecond
+	}
+	return 20 * time.Second
+}
+
+// sinkSpool resolves SinkSpoolBytes (0 = default 1 MiB; negative = no
+// reconnection, the legacy fail-fast sink).
+func (c *Config) sinkSpool() int64 {
+	switch {
+	case c.SinkSpoolBytes < 0:
+		return -1
+	case c.SinkSpoolBytes == 0:
+		return 1 << 20
+	}
+	return c.SinkSpoolBytes
 }
 
 // replicaTTL resolves ReplicaTTL (0 = default 8 owner epochs).

@@ -50,12 +50,12 @@ func serveMasterTCP(cfg Config, ctlAddr, resAddr string, ing Ingestor) (*Result,
 	cfg.Mode = cfg.LiveProber
 	cfg.Expiry = join.ExpiryBlocks
 
-	ctlLn, err := net.Listen("tcp", ctlAddr)
+	ctlLn, err := cfg.transport().Listen("tcp", ctlAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer ctlLn.Close()
-	resLn, err := net.Listen("tcp", resAddr)
+	resLn, err := cfg.transport().Listen("tcp", resAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +74,12 @@ func serveMasterTCP(cfg Config, ctlAddr, resAddr string, ing Ingestor) (*Result,
 		if err != nil {
 			return nil, err
 		}
-		ec := engine.WrapTCPBatched(masterP, c, cfg.WireBatchBytes)
+		// Control reads resume every distribution epoch; a slave silent for
+		// longer than the control read deadline is wedged, and failing the
+		// conn turns that wedge into a clean run failure instead of a
+		// forever-stuck barrier.
+		dc := engine.WithDeadlines(c, cfg.ctlReadDeadline(), cfg.wireDeadline())
+		ec := engine.WrapTCPBatched(masterP, dc, cfg.WireBatchBytes)
 		hello, ok := ec.Recv().(*wire.Hello)
 		if !ok || hello.Slave < 0 || int(hello.Slave) >= cfg.Slaves || conns[hello.Slave] != nil {
 			c.Close()
@@ -194,6 +199,7 @@ func serveMasterTCP(cfg Config, ctlAddr, resAddr string, ing Ingestor) (*Result,
 		DoDTrace:           master.dodTrace,
 		MovesIssued:        master.movesIssued,
 		MovesCompleted:     master.movesDone,
+		MovesDegraded:      master.movesDegraded,
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}
@@ -228,31 +234,42 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 	env := engine.NewLiveEnv()
 	proc := env.NewProc(fmt.Sprintf("slave%d", id))
 
-	mc, err := dialRetry(ctlAddr)
+	mc, err := dialRetry(cfg.transport(), ctlAddr, cfg.dialBudget())
 	if err != nil {
 		return err
 	}
 	defer mc.Close()
-	master := engine.WrapTCPBatched(proc, mc, cfg.WireBatchBytes)
+	// The first control read legitimately idles from registration until the
+	// whole cluster forms, so it gets the formation margin; afterwards reads
+	// resume every distribution epoch and the steady-state deadline applies.
+	mdc := engine.WithFormingDeadlines(mc,
+		cfg.formReadDeadline(), cfg.ctlReadDeadline(), cfg.wireDeadline())
+	master := engine.WrapTCPBatched(proc, mdc, cfg.WireBatchBytes)
 	master.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
 
 	// Mesh: listen for higher IDs, dial lower IDs.
 	peers := make([]engine.Conn, cfg.Slaves)
 	var ln net.Listener
 	if id < cfg.Slaves-1 {
-		ln, err = net.Listen("tcp", meshAddrs[id])
+		ln, err = cfg.transport().Listen("tcp", meshAddrs[id])
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
 	}
+	// Mesh reads only happen while consuming a directed state move, whose
+	// supplier sends within the same epoch — the mesh deadline (one wire
+	// deadline plus a reorg epoch) covers any legitimate gap.
+	meshWrap := func(c net.Conn) net.Conn {
+		return engine.WithDeadlines(c, cfg.meshReadDeadline(), cfg.wireDeadline())
+	}
 	for j := 0; j < id; j++ {
-		c, err := dialRetry(meshAddrs[j])
+		c, err := dialRetry(cfg.transport(), meshAddrs[j], cfg.dialBudget())
 		if err != nil {
 			return err
 		}
 		defer c.Close()
-		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
+		pc := engine.WrapTCPBatched(proc, meshWrap(c), cfg.WireBatchBytes)
 		pc.Send(&wire.Hello{Slave: int32(id), Epoch: startEpoch})
 		peers[j] = pc
 	}
@@ -262,7 +279,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 			return err
 		}
 		defer c.Close()
-		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
+		pc := engine.WrapTCPBatched(proc, meshWrap(c), cfg.WireBatchBytes)
 		hello, ok := pc.Recv().(*wire.Hello)
 		if !ok || int(hello.Slave) <= id || int(hello.Slave) >= cfg.Slaves {
 			return fmt.Errorf("core: bad mesh registration")
@@ -270,13 +287,16 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		peers[hello.Slave] = pc
 	}
 
-	rc, err := dialRetry(resAddr)
+	rc, err := dialRetry(cfg.transport(), resAddr, cfg.dialBudget())
 	if err != nil {
 		return err
 	}
 	defer rc.Close()
 	coll := &tcpAsyncSender{
-		conn:       engine.WrapTCPBatched(proc, rc, cfg.WireBatchBytes),
+		// Write-only from this side: a collector that stops draining fails
+		// the conn within one wire deadline instead of wedging a flush.
+		conn: engine.WrapTCPBatched(proc,
+			engine.WithDeadlines(rc, 0, cfg.wireDeadline()), cfg.WireBatchBytes),
 		now:        proc.Now,
 		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
 	}
@@ -302,11 +322,11 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 			if _, ok := sinkConns[q.SinkAddr]; ok {
 				continue
 			}
-			c, err := dialRetry(q.SinkAddr)
+			c, err := dialRetry(cfg.transport(), q.SinkAddr, cfg.dialBudget())
 			if err != nil {
 				return fmt.Errorf("core: slave %d pair sink: %w", id, err)
 			}
-			sinkConns[q.SinkAddr] = c
+			sinkConns[q.SinkAddr] = engine.WithDeadlines(c, 0, cfg.wireDeadline())
 		}
 		return nil
 	}
@@ -375,7 +395,7 @@ func ServeSlaveTCP(cfg Config, id int, ctlAddr, resAddr string, meshAddrs []stri
 		if _, ok := sinks[q.SinkAddr]; ok {
 			continue
 		}
-		sinks[q.SinkAddr] = engine.NewSocketSink(proc2, sinkConns[q.SinkAddr], int32(id), 0)
+		sinks[q.SinkAddr] = cfg.newPairSink(proc2, sinkConns[q.SinkAddr], int32(id), q.SinkAddr)
 		delete(sinkConns, q.SinkAddr)
 	}
 	if len(cfg.Queries) == 0 {
@@ -446,17 +466,4 @@ func (t *tcpAsyncSender) SendAsync(m wire.Message) {
 func (t *tcpAsyncSender) Flush() {
 	engine.Flush(t.conn)
 	t.pending = false
-}
-
-func dialRetry(addr string) (net.Conn, error) {
-	var lastErr error
-	for i := 0; i < 100; i++ {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			return c, nil
-		}
-		lastErr = err
-		time.Sleep(200 * time.Millisecond)
-	}
-	return nil, fmt.Errorf("core: dial %s: %w", addr, lastErr)
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"streamjoin/internal/engine"
+)
+
+// TestBackoffDelayCurve pins the backoff schedule: caps double from dialBase
+// to dialCap, and the jittered delay stays in [cap/2, cap].
+func TestBackoffDelayCurve(t *testing.T) {
+	wantCap := []time.Duration{
+		50 * time.Millisecond,  // attempt 0
+		100 * time.Millisecond, // 1
+		200 * time.Millisecond, // 2
+		400 * time.Millisecond, // 3
+		800 * time.Millisecond, // 4
+		1600 * time.Millisecond,
+		2 * time.Second, // clamped
+		2 * time.Second,
+	}
+	for attempt, c := range wantCap {
+		if got := backoffDelay(attempt, 0); got != c/2 {
+			t.Errorf("attempt %d rnd=0: delay %v, want %v", attempt, got, c/2)
+		}
+		// rnd just below 1 lands just below the cap.
+		if got := backoffDelay(attempt, 0.999999); got < c/2 || got > c {
+			t.Errorf("attempt %d rnd~1: delay %v outside [%v, %v]", attempt, got, c/2, c)
+		}
+	}
+	// Very large attempt numbers must not overflow the shift.
+	if got := backoffDelay(62, 0); got != dialCap/2 {
+		t.Errorf("attempt 62: delay %v, want %v", got, dialCap/2)
+	}
+}
+
+// refuseTransport fails every dial, recording the timeouts requested.
+type refuseTransport struct {
+	timeouts []time.Duration
+}
+
+func (r *refuseTransport) Dial(network, addr string) (net.Conn, error) {
+	return nil, errors.New("refused")
+}
+
+func (r *refuseTransport) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	r.timeouts = append(r.timeouts, timeout)
+	return nil, errors.New("refused")
+}
+
+func (r *refuseTransport) Listen(network, addr string) (net.Listener, error) {
+	return nil, errors.New("no listen")
+}
+
+// succeedAfter refuses the first n dials, then delegates to real TCP.
+type succeedAfter struct {
+	n    int
+	seen int
+	ok   engine.Transport
+}
+
+func (s *succeedAfter) Dial(network, addr string) (net.Conn, error) {
+	return s.DialTimeout(network, addr, time.Second)
+}
+
+func (s *succeedAfter) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	s.seen++
+	if s.seen <= s.n {
+		return nil, errors.New("refused")
+	}
+	return s.ok.DialTimeout(network, addr, timeout)
+}
+
+func (s *succeedAfter) Listen(network, addr string) (net.Listener, error) {
+	return s.ok.Listen(network, addr)
+}
+
+// TestDialRetryBackoffSchedule drives the dialer against a permanently
+// refusing transport with an injected clock and asserts the exact sequence
+// of sleeps (rnd pinned to 0 → delay = cap/2 each retry) and that the
+// budget terminates the loop.
+func TestDialRetryBackoffSchedule(t *testing.T) {
+	tr := &refuseTransport{}
+	var slept []time.Duration
+	d := dialer{
+		tr:     tr,
+		budget: 1 * time.Second,
+		sleep: func(ctx context.Context, dur time.Duration) error {
+			slept = append(slept, dur)
+			return nil
+		},
+		rnd: func() float64 { return 0 },
+	}
+	_, err := d.dial(context.Background(), "198.51.100.1:1")
+	if err == nil {
+		t.Fatal("dial against refusing transport succeeded")
+	}
+	// rnd=0 → delays are cap/2: 25, 50, 100, 200, 400ms = 775ms; the next
+	// delay (800ms) exceeds the remaining 225ms of budget, so the dialer
+	// gives up instead of sleeping it out.
+	want := []time.Duration{
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full: %v)", i, slept[i], want[i], slept)
+		}
+	}
+	// Budget exhaustion, not attempt count, ended the loop.
+	if len(tr.timeouts) != len(want)+1 {
+		t.Fatalf("%d attempts for %d sleeps", len(tr.timeouts), len(want))
+	}
+}
+
+// TestDialRetryContextCancel: cancelling the context aborts the retry loop
+// promptly, surfacing both the cancellation and the last dial error.
+func TestDialRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d := dialer{
+		tr:     &refuseTransport{},
+		budget: time.Hour,
+		sleep: func(ctx context.Context, dur time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := d.dial(ctx, "198.51.100.1:1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDialRetryEventualSuccess: transient refusals are retried through to a
+// real connection.
+func TestDialRetryEventualSuccess(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	d := dialer{
+		tr:     &succeedAfter{n: 3, ok: engine.TCP},
+		budget: 10 * time.Second,
+		sleep:  func(context.Context, time.Duration) error { return nil },
+	}
+	c, err := d.dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.Close()
+}

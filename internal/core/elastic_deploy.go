@@ -52,12 +52,12 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 	cfg.Mode = cfg.LiveProber
 	cfg.Expiry = join.ExpiryBlocks
 
-	ctlLn, err := net.Listen("tcp", ctlAddr)
+	ctlLn, err := cfg.transport().Listen("tcp", ctlAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer ctlLn.Close()
-	resLn, err := net.Listen("tcp", resAddr)
+	resLn, err := cfg.transport().Listen("tcp", resAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,13 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 			}
 			go func(c net.Conn) {
 				defer func() { recover() }() // torn-down handshake
-				ec := engine.WrapTCPBatched(masterP, c, cfg.WireBatchBytes)
+				// Both stream kinds carried by this listener get the control
+				// deadline: join/epoch control reads resume every epoch, ping
+				// streams far more often. A slave that stops moving bytes for
+				// longer than that is wedged; failing its conn here feeds the
+				// same eviction path heartbeat death uses.
+				dc := engine.WithDeadlines(c, cfg.ctlReadDeadline(), cfg.wireDeadline())
+				ec := engine.WrapTCPBatched(masterP, dc, cfg.WireBatchBytes)
 				switch first := ec.Recv().(type) {
 				case *wire.Hello:
 					if first.Slave != -1 || first.Epoch != joinEpoch {
@@ -169,10 +175,18 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 						c.Close()
 						return
 					}
+					// A slave may redial its heartbeat stream after a conn
+					// fault; arm refuses ids already declared dead so an
+					// evicted slave cannot zombie-ping its slot alive again
+					// (the slot only revives through a fresh admission, which
+					// clears the dead mark).
+					if !hb.arm(id) {
+						c.Close()
+						return
+					}
 					conns.Lock()
 					conns.hb[id] = func() { c.Close() }
 					conns.Unlock()
-					hb.reset(id)
 					defer c.Close()
 					msg := first
 					leaveSent := false
@@ -214,11 +228,12 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 		conns.Lock()
 		conns.ctl[id] = closeCtl
 		conns.Unlock()
+		hb.clear(id) // slot legitimately recycled: allow its ping stream
 	}
 
 	// Cluster formation: admit the first MinSlaves joiners; they start
 	// active at epoch 0.
-	formTimeout := time.After(2 * time.Minute)
+	formTimeout := time.After(cfg.formTimeout())
 	for admitted := 0; admitted < cfg.MinSlaves; {
 		select {
 		case ev := <-events:
@@ -313,6 +328,7 @@ func serveMasterElastic(cfg Config, ctlAddr, resAddr string, logf func(string, .
 		DoDTrace:           master.dodTrace,
 		MovesIssued:        master.movesIssued,
 		MovesCompleted:     master.movesDone,
+		MovesDegraded:      master.movesDegraded,
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 		Joins:              master.joins,
@@ -386,13 +402,13 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	if meshListen == "" {
 		meshListen = "127.0.0.1:0"
 	}
-	ml, err := net.Listen("tcp", meshListen)
+	ml, err := cfg.transport().Listen("tcp", meshListen)
 	if err != nil {
 		return err
 	}
 	defer ml.Close()
 
-	mc, err := dialRetry(joinAddr)
+	mc, err := dialRetry(cfg.transport(), joinAddr, cfg.dialBudget())
 	if err != nil {
 		return err
 	}
@@ -402,8 +418,12 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 		return err
 	}
 
-	// Join handshake: announce, learn our id and the roster.
-	master := engine.WrapTCPBatched(proc, mc, cfg.WireBatchBytes)
+	// Join handshake: announce, learn our id and the roster. The first
+	// control read idles until the master admits us — at initial formation
+	// that waits for the rest of the cluster, hence the formation margin;
+	// afterwards reads resume every distribution epoch.
+	master := engine.WrapTCPBatched(proc, engine.WithFormingDeadlines(mc,
+		cfg.formReadDeadline(), cfg.ctlReadDeadline(), cfg.wireDeadline()), cfg.WireBatchBytes)
 	master.Send(&wire.Hello{Slave: -1, Epoch: joinEpoch})
 	master.Send(&wire.Membership{Self: -1, Slaves: []wire.MemberSpec{
 		{ID: -1, Addr: advert, Workers: int32(cfg.LiveWorkers())},
@@ -424,7 +444,7 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	// buddy-replication stream whose deltas feed the local replicaSet.
 	// curProc lets connections accepted after the clock re-anchor account
 	// to the run's process.
-	tab := newPeerTable(15 * time.Second)
+	tab := newPeerTable(cfg.meshPatience())
 	defer tab.closeAll()
 	rset := newReplicaSet(&cfg)
 	defer rset.closeAll()
@@ -438,7 +458,11 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 			}
 			go func(c net.Conn) {
 				defer func() { recover() }() // torn-down handshake
-				pc := engine.WrapTCPBatched(curProc.Load(), c, cfg.WireBatchBytes)
+				// Mesh deadline on both stream kinds: state moves arrive
+				// within their directive's epoch, replication streams carry
+				// at least a keepalive delta per distribution epoch.
+				dc := engine.WithDeadlines(c, cfg.meshReadDeadline(), cfg.wireDeadline())
+				pc := engine.WrapTCPBatched(curProc.Load(), dc, cfg.WireBatchBytes)
 				h, ok := pc.Recv().(*wire.Hello)
 				if !ok || h.Slave < 0 || h.Slave == id {
 					c.Close()
@@ -468,23 +492,28 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 		if sp.ID == id || sp.Addr == "" {
 			continue
 		}
-		c, err := dialRetry(sp.Addr)
+		c, err := dialRetry(cfg.transport(), sp.Addr, cfg.dialBudget())
 		if err != nil {
 			return fmt.Errorf("core: slave %d mesh dial to %d: %w", id, sp.ID, err)
 		}
-		pc := engine.WrapTCPBatched(proc, c, cfg.WireBatchBytes)
+		pc := engine.WrapTCPBatched(proc,
+			engine.WithDeadlines(c, cfg.meshReadDeadline(), cfg.wireDeadline()),
+			cfg.WireBatchBytes)
 		pc.Send(&wire.Hello{Slave: id, Epoch: joinEpoch})
 		cc := c
 		tab.set(sp.ID, pc, func() { cc.Close() })
 	}
 
-	rc, err := dialRetry(resAddr)
+	rc, err := dialRetry(cfg.transport(), resAddr, cfg.dialBudget())
 	if err != nil {
 		return err
 	}
 	defer rc.Close()
 	coll := &tcpAsyncSender{
-		conn:       engine.WrapTCPBatched(proc, rc, cfg.WireBatchBytes),
+		// Write-only from this side: a collector that stops draining fails
+		// the conn within one wire deadline instead of wedging a flush.
+		conn: engine.WrapTCPBatched(proc,
+			engine.WithDeadlines(rc, 0, cfg.wireDeadline()), cfg.WireBatchBytes),
 		now:        proc.Now,
 		flushAfter: time.Duration(cfg.WireFlushMs) * time.Millisecond,
 	}
@@ -506,11 +535,11 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 			if _, ok := sinkConns[q.SinkAddr]; ok {
 				continue
 			}
-			c, err := dialRetry(q.SinkAddr)
+			c, err := dialRetry(cfg.transport(), q.SinkAddr, cfg.dialBudget())
 			if err != nil {
 				return fmt.Errorf("core: slave %d pair sink: %w", id, err)
 			}
-			sinkConns[q.SinkAddr] = c
+			sinkConns[q.SinkAddr] = engine.WithDeadlines(c, 0, cfg.wireDeadline())
 		}
 		return nil
 	}
@@ -579,7 +608,7 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 		if _, ok := sinks[q.SinkAddr]; ok {
 			continue
 		}
-		sinks[q.SinkAddr] = engine.NewSocketSink(proc2, sinkConns[q.SinkAddr], id, 0)
+		sinks[q.SinkAddr] = cfg.newPairSink(proc2, sinkConns[q.SinkAddr], id, q.SinkAddr)
 		delete(sinkConns, q.SinkAddr)
 	}
 	if len(cfg.Queries) == 0 {
@@ -597,13 +626,36 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	}
 
 	// Heartbeat: a second control connection pinging every HeartbeatMs.
-	// Leave requests ride it as Ping.Leave.
-	hc, err := dialRetry(joinAddr)
+	// Leave requests ride it as Ping.Leave. A failed stream — reset, or a
+	// write blocked past the wire deadline — is redialed a bounded number of
+	// times, so a transient conn fault does not cost a healthy slave its
+	// membership; the crash seams sever the stream for good (hbc.severed),
+	// and the master refuses ping streams for slots it already evicted.
+	var hbc struct {
+		sync.Mutex
+		severed bool
+		close   func()
+	}
+	severHB := func() {
+		hbc.Lock()
+		defer hbc.Unlock()
+		hbc.severed = true
+		if hbc.close != nil {
+			hbc.close()
+		}
+	}
+	hbWrap := func(c net.Conn) engine.Conn {
+		return engine.WrapTCPBatched(proc2,
+			engine.WithDeadlines(c, cfg.meshReadDeadline(), cfg.wireDeadline()),
+			cfg.WireBatchBytes)
+	}
+	hc, err := dialRetry(cfg.transport(), joinAddr, cfg.dialBudget())
 	if err != nil {
 		return err
 	}
-	defer hc.Close()
-	hconn := engine.WrapTCPBatched(proc2, hc, cfg.WireBatchBytes)
+	defer severHB()
+	hbc.close = func() { hc.Close() }
+	hconn := hbWrap(hc)
 	var leaving, done atomic.Bool
 	if opts.Leave != nil {
 		leaveCh := opts.Leave
@@ -613,14 +665,40 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 		}()
 	}
 	go func() {
-		defer func() { recover() }() // connection teardown at shutdown
 		interval := time.Duration(cfg.HeartbeatMs) * time.Millisecond
-		for seq := int64(0); !done.Load(); seq++ {
-			hconn.Send(&wire.Ping{Slave: id, Seq: seq, Leave: leaving.Load()})
-			if _, ok := hconn.Recv().(*wire.Pong); !ok {
+		seq := int64(0)
+		ping := func(conn engine.Conn) {
+			defer func() { recover() }() // conn fault or teardown
+			for !done.Load() {
+				conn.Send(&wire.Ping{Slave: id, Seq: seq, Leave: leaving.Load()})
+				seq++
+				if _, ok := conn.Recv().(*wire.Pong); !ok {
+					return
+				}
+				time.Sleep(interval)
+			}
+		}
+		ping(hconn)
+		for redial := 0; redial < 5 && !done.Load(); redial++ {
+			hbc.Lock()
+			severed := hbc.severed
+			hbc.Unlock()
+			if severed {
 				return
 			}
-			time.Sleep(interval)
+			c, err := dialRetry(cfg.transport(), joinAddr, cfg.dialBudget())
+			if err != nil {
+				return
+			}
+			hbc.Lock()
+			if hbc.severed || done.Load() {
+				hbc.Unlock()
+				c.Close()
+				return
+			}
+			hbc.close = func() { c.Close() }
+			hbc.Unlock()
+			ping(hbWrap(c))
 		}
 	}()
 	defer done.Store(true)
@@ -639,11 +717,15 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 	if cfg.Replicate {
 		s.ws.replicate = true
 		s.repl = newReplicator(&cfg, id, proc2, func(addr string) (engine.Conn, func(), error) {
-			c, err := net.DialTimeout("tcp", addr, time.Duration(cfg.DistEpochMs)*time.Millisecond)
+			c, err := cfg.transport().DialTimeout("tcp", addr, time.Duration(cfg.DistEpochMs)*time.Millisecond)
 			if err != nil {
 				return nil, nil, err
 			}
-			return engine.WrapTCPBatched(proc2, c, cfg.WireBatchBytes), func() { c.Close() }, nil
+			// Write-only from the owner side: a buddy that stops draining
+			// fails the stream within one wire deadline; the next flush
+			// redials it (needReset) instead of wedging the epoch barrier.
+			dc := engine.WithDeadlines(c, 0, cfg.wireDeadline())
+			return engine.WrapTCPBatched(proc2, dc, cfg.WireBatchBytes), func() { c.Close() }, nil
 		})
 		s.repl.updateRoster(roster.Slaves)
 		defer s.repl.close()
@@ -667,7 +749,7 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 				// Crash seam: sever everything at once, as a process kill
 				// would.
 				mc.Close()
-				hc.Close()
+				severHB()
 				rc.Close()
 				ml.Close()
 				tab.closeAll()
@@ -695,7 +777,7 @@ func ServeSlaveJoin(cfg Config, joinAddr, resAddr string, opts JoinOptions) (err
 				sink.FlushBarrier()
 			}
 			mc.Close()
-			hc.Close()
+			severHB()
 			rc.Close()
 			ml.Close()
 			tab.closeAll()

@@ -61,6 +61,28 @@ func (h *heartbeatMonitor) reset(slave int32) {
 	h.lastSeen[slave] = h.now()
 }
 
+// arm starts tracking the slave for a new heartbeat connection, refusing
+// slots already declared dead: an evicted slave redialing its ping stream
+// must not keep its slot looking alive. A legitimately recycled slot is
+// unlocked by clear (called from admission) before its new owner's stream
+// arrives.
+func (h *heartbeatMonitor) arm(slave int32) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead[slave] {
+		return false
+	}
+	h.lastSeen[slave] = h.now()
+	return true
+}
+
+// clear removes the dead mark from a slot (fresh admission recycling it).
+func (h *heartbeatMonitor) clear(slave int32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.dead, slave)
+}
+
 // forget stops tracking the slave without declaring it dead (graceful leave
 // or run shutdown).
 func (h *heartbeatMonitor) forget(slave int32) {

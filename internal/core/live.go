@@ -140,11 +140,12 @@ func RunLive(cfg Config) (*Result, error) {
 			if q.SinkAddr == "" || byAddr[q.SinkAddr] != nil {
 				continue
 			}
-			sc, err := dialRetry(q.SinkAddr)
+			sc, err := dialRetry(cfg.transport(), q.SinkAddr, cfg.dialBudget())
 			if err != nil {
 				return nil, fmt.Errorf("core: slave %d pair sink: %w", i, err)
 			}
-			s := engine.NewSocketSink(slaveP[i], sc, int32(i), 0)
+			s := cfg.newPairSink(slaveP[i],
+				engine.WithDeadlines(sc, 0, cfg.wireDeadline()), int32(i), q.SinkAddr)
 			byAddr[q.SinkAddr] = s
 			sinks[i] = append(sinks[i], s)
 		}
@@ -241,6 +242,7 @@ func RunLive(cfg Config) (*Result, error) {
 		DoDTrace:           master.dodTrace,
 		MovesIssued:        master.movesIssued,
 		MovesCompleted:     master.movesDone,
+		MovesDegraded:      master.movesDegraded,
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}

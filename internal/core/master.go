@@ -63,12 +63,13 @@ type masterNode struct {
 	rng      *rand.Rand
 
 	// instrumentation
-	epochsServed int64
-	lastEpochAt  time.Duration
-	movesIssued  int
-	movesDone    int
-	dodTrace     []DoDSample
-	shutdownSent []bool
+	epochsServed  int64
+	lastEpochAt   time.Duration
+	movesIssued   int
+	movesDone     int
+	movesDegraded int
+	dodTrace      []DoDSample
+	shutdownSent  []bool
 
 	// Elastic membership (nil/zero on fixed-topology deployments; see
 	// elastic.go). joined marks slots with a registered connection; dead
@@ -282,6 +283,10 @@ func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 	for _, ack := range hello.MoveACKs {
 		m.completeMove(ack)
 	}
+	// Moves the consumer completed with an empty install: the window state
+	// was lost in transit (dead or stalled supplier, no local shadow). The
+	// run still converges; the count makes the loss exact rather than silent.
+	m.movesDegraded += len(hello.Degraded)
 	if m.elastic && m.lastMem[i] != m.memEpoch {
 		// Roster changed since this slave last heard from us: prefix the
 		// batch with a Membership update so it can prune dead mesh peers

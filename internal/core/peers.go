@@ -104,6 +104,23 @@ func (pt *peerTable) prune(live map[int32]bool) {
 	pt.cond.Broadcast()
 }
 
+// fail severs one peer after a transport error on its connection: close the
+// raw transport, forget the entry, and mark it gone so every later get fails
+// fast instead of waiting out the patience budget per directive. A stalled
+// peer thereby degrades exactly like a dead one — the master's heartbeat
+// eviction re-registers it via set if it was only slow.
+func (pt *peerTable) fail(id int32) {
+	pt.mu.Lock()
+	if cl := pt.closers[id]; cl != nil {
+		cl()
+	}
+	delete(pt.conns, id)
+	delete(pt.closers, id)
+	pt.gone[id] = true
+	pt.mu.Unlock()
+	pt.cond.Broadcast()
+}
+
 // rebind re-wraps every registered connection (clock re-anchor after the
 // start batch; see engine.Conn Rebind).
 func (pt *peerTable) rebind(f func(engine.Conn) engine.Conn) {

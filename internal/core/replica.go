@@ -215,6 +215,14 @@ func (r *replicator) flush(ws *workerSet, epoch int64, nowMs int32) {
 				}
 			}
 		}
+		if deltas == 0 {
+			// Keepalive: an owner with no groups this epoch still moves a
+			// byte per epoch, so the buddy's read deadline never mistakes a
+			// healthy idle stream for a wedged one. The receiver discards
+			// Group -1.
+			r.wd = wire.WindowDelta{From: r.self, Group: -1, Epoch: epoch, Cutoff: cutoff}
+			engine.SendBuffered(r.conn, &r.wd)
+		}
 		engine.Flush(r.conn)
 	})
 	if !ok {
@@ -285,6 +293,9 @@ func (rs *replicaSet) setProc(p *engine.LiveProc) {
 // expires under the same policy the primary runs — the shadow stays
 // slot-for-slot identical to the primary (TestReplicaReplayIdentity).
 func (rs *replicaSet) apply(wd *wire.WindowDelta) {
+	if wd.Group < 0 {
+		return // keepalive from an owner with nothing to replicate
+	}
 	rs.lock()
 	defer rs.unlock()
 	k := replKey{src: wd.From, group: wd.Group}
@@ -421,9 +432,11 @@ func (s *slaveNode) promoteGroup(d wire.Directive) {
 			s.groupsPromoted++
 		} else {
 			s.promoteMisses++
+			s.degraded = append(s.degraded, d.MoveID)
 		}
 	} else {
 		s.promoteMisses++
+		s.degraded = append(s.degraded, d.MoveID)
 	}
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples()))
 	if err := s.ws.installState(st, nil); err != nil {

@@ -42,9 +42,13 @@ type Result struct {
 	DoDTrace []DoDSample
 
 	// MovesIssued/MovesCompleted count partition-group movements over the
-	// whole run.
+	// whole run. MovesDegraded counts the completed moves that installed an
+	// empty group because the window state was lost in transit (dead or
+	// stalled supplier with no replica shadow) — the exactly-accounted loss
+	// under faults.
 	MovesIssued    int
 	MovesCompleted int
+	MovesDegraded  int
 
 	// MasterPeakBufBytes is the peak mini-buffer occupancy at the master
 	// during the measurement interval (§V-B).
@@ -308,6 +312,7 @@ func RunSim(cfg Config) (*Result, error) {
 		DoDTrace:           master.dodTrace,
 		MovesIssued:        master.movesIssued,
 		MovesCompleted:     master.movesDone,
+		MovesDegraded:      master.movesDegraded,
 		MasterPeakBufBytes: master.peakBuf,
 		EpochsServed:       master.epochsServed,
 	}

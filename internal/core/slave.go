@@ -35,6 +35,12 @@ type slaveNode struct {
 
 	acks []int64
 
+	// degraded carries the MoveIDs of consumes that completed with an empty
+	// install because the state never arrived (supplier unreachable and no
+	// local shadow, or a promotion miss). Reported in the next Hello so the
+	// master can account the loss exactly instead of silently absorbing it.
+	degraded []int64
+
 	active bool
 
 	// Elastic membership (zero on fixed-topology deployments). ptab
@@ -138,8 +144,9 @@ func (s *slaveNode) run() {
 			WindowBytes:  s.ws.windowBytes(),
 			BacklogBytes: backlogBytes,
 			MoveACKs:     s.acks,
+			Degraded:     s.degraded,
 		})
-		s.acks = nil
+		s.acks, s.degraded = nil, nil
 		if e%K == 0 {
 			// Reorganization boundary: restart the averaging window and
 			// push out any result batches still coalescing in the batched
@@ -284,7 +291,16 @@ func (s *slaveNode) supplyGroup(d wire.Directive) {
 	// then lost with the move — the master unwinds it and re-adopts the
 	// group empty on a survivor.
 	if p := s.peerConn(d.To); p != nil {
-		tolerateTCP(func() { engine.SendBuffered(p, msg) })
+		if !tolerateTCP(func() { engine.SendBuffered(p, msg) }) {
+			// Sever immediately: later directives naming this peer fail fast
+			// instead of each waiting out the table's patience budget.
+			s.ptab.fail(d.To)
+		}
+	} else {
+		// The consumer never appeared within the patience budget (dead, or
+		// behind a one-way partition that swallowed its mesh handshake).
+		// Cache the verdict so sibling directives don't re-wait it.
+		s.ptab.fail(d.To)
 	}
 }
 
@@ -309,7 +325,13 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 		}
 	case s.ptab != nil:
 		if p := s.peerConn(d.From); p != nil {
-			tolerateTCP(func() { msg = s.recvTransfer(p, d) })
+			if !tolerateTCP(func() { msg = s.recvTransfer(p, d) }) {
+				// A deadline timeout lands here too: a supplier that stalls
+				// past the mesh read deadline is severed like a dead one.
+				s.ptab.fail(d.From)
+			}
+		} else {
+			s.ptab.fail(d.From) // cache the verdict for sibling directives
 		}
 		if msg == nil {
 			// The supplier died before (or while) shipping the state. If
@@ -324,7 +346,9 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 				return
 			}
 			// Otherwise the window contents are lost. Fall back to an empty
-			// install and ack, so the movement still completes.
+			// install and ack, so the movement still completes — but report
+			// the move as degraded so the loss is accounted, not silent.
+			s.degraded = append(s.degraded, d.MoveID)
 			msg = &wire.StateTransfer{
 				MoveID:  d.MoveID,
 				Group:   d.Group,

@@ -34,9 +34,19 @@ import (
 // module, so the join's zero-allocation steady state survives the sink as
 // long as the queue is keeping up (asserted by TestSocketSinkEmitNoAllocs).
 //
-// Failure: a write error (consumer gone) marks the sink failed; subsequent
-// Emits recycle immediately and count the pairs as dropped rather than
-// deadlocking the slave. Close reports the first error.
+// Failure: without a Redial option, a write error (consumer gone) marks the
+// sink failed; subsequent Emits recycle immediately and count the pairs as
+// dropped rather than deadlocking the slave, and Close reports the first
+// error. With Redial set (NewSocketSinkWith), a write error instead enters
+// reconnect mode: the dead connection is closed, a background goroutine
+// redials with backoff, and meanwhile the writer keeps draining the queue —
+// batches are retained in a bounded spool (estimated at the encoded pair
+// size) and replayed on reconnection, or counted dropped once the spool cap
+// is hit. Everything encoded but not yet flushed when the conn died is
+// reclassified from shipped to dropped, so delivered + dropped always
+// equals emitted exactly. Emit backpressure is unchanged: the bounded queue
+// still stalls the join when the consumer is merely slow — the spool only
+// engages while the connection is down.
 //
 // Termination contract: like ChanSink, the sink cannot know when the run
 // ends. Call Close only after the engine has fully stopped (no join worker
@@ -59,15 +69,27 @@ type SocketSink struct {
 
 	seq atomic.Int64 // emission sequence, stamped into PairBatch.Epoch
 
+	// reconnect configuration (nil redial = legacy fail-fast)
+	redial   func() (io.WriteCloser, error)
+	spoolCap int64
+
 	// writer-goroutine state
 	enc       []wire.OutPair // reused encode scratch
 	pb        wire.PairBatch // reused message shell
 	lastBytes int64          // framing bytes already folded into the stats
+	unflushed int64          // pairs encoded since the last successful flush
+	down      bool           // disconnected, redialer in flight
+	spooled   []sinkBatch    // batches retained for replay on reconnect
+	spoolLen  int64          // estimated encoded bytes of spooled
 
-	pairs   atomic.Int64
-	bytes   atomic.Int64
-	dropped atomic.Int64
-	stall   atomic.Int64 // ns
+	redialc chan io.WriteCloser // redialer → writer hand-off
+	bye     chan struct{}       // closed by Close; stops the redialer
+
+	pairs      atomic.Int64
+	bytes      atomic.Int64
+	dropped    atomic.Int64
+	stall      atomic.Int64 // ns
+	reconnects atomic.Int64
 }
 
 // sinkBatch is one Emit hand-off in flight to the writer goroutine. A
@@ -97,11 +119,42 @@ const sinkFlushBytes = 32 << 10
 // split into several messages sharing the group and epoch stamp).
 const maxPairsPerMsg = 1 << 20
 
+// DefaultSinkSpool is the reconnect spool cap when SinkOptions.SpoolBytes
+// is 0: roughly 60k pairs of retained output while the consumer is down.
+const DefaultSinkSpool = 1 << 20
+
+// spoolBatchOverhead is the estimated per-batch framing overhead charged
+// against the spool cap on top of the encoded pair size.
+const spoolBatchOverhead = 32
+
+// SinkOptions configures NewSocketSinkWith beyond the legacy constructor.
+type SinkOptions struct {
+	// Queue is the bounded in-flight depth (0 = DefaultSinkQueue).
+	Queue int
+	// SpoolBytes caps the estimated encoded size of batches retained while
+	// the connection is down (0 = DefaultSinkSpool). Batches beyond the cap
+	// are counted dropped.
+	SpoolBytes int64
+	// Redial reopens the consumer connection after a write failure. nil
+	// keeps the legacy fail-fast behavior.
+	Redial func() (io.WriteCloser, error)
+}
+
 // NewSocketSink returns a running sink over conn for the given slave ID.
 // queue is the bounded in-flight depth (0 = DefaultSinkQueue); p, when
 // non-nil, receives the pairs/bytes/stall accounting.
 func NewSocketSink(p *LiveProc, conn io.WriteCloser, slave int32, queue int) *SocketSink {
-	s := newSocketSink(p, conn, slave, queue)
+	return NewSocketSinkWith(p, conn, slave, SinkOptions{Queue: queue})
+}
+
+// NewSocketSinkWith is NewSocketSink with reconnect options.
+func NewSocketSinkWith(p *LiveProc, conn io.WriteCloser, slave int32, o SinkOptions) *SocketSink {
+	s := newSocketSink(p, conn, slave, o.Queue)
+	s.redial = o.Redial
+	s.spoolCap = o.SpoolBytes
+	if s.spoolCap <= 0 {
+		s.spoolCap = DefaultSinkSpool
+	}
 	s.wg.Add(1)
 	go s.writer()
 	return s
@@ -123,6 +176,8 @@ func newSocketSink(p *LiveProc, conn io.WriteCloser, slave int32, queue int) *So
 		q:       make(chan sinkBatch, queue),
 		recycle: make(chan []join.Pair, queue+1),
 		failed:  make(chan struct{}),
+		redialc: make(chan io.WriteCloser, 1),
+		bye:     make(chan struct{}),
 	}
 }
 
@@ -196,9 +251,28 @@ func (s *SocketSink) emit(query, group int32, pairs []join.Pair) []join.Pair {
 
 // writer is the connection's single writer goroutine: it encodes queued
 // batches, recycles their buffers, and flushes whenever the queue drains.
+// While disconnected it also waits on the redialer's hand-off, so the queue
+// keeps draining (into the spool) and Emit never blocks on a dead consumer.
 func (s *SocketSink) writer() {
 	defer s.wg.Done()
-	for b := range s.q {
+	for {
+		if s.down {
+			select {
+			case c := <-s.redialc:
+				s.attach(c)
+			case b, ok := <-s.q:
+				if !ok {
+					s.dropSpooled()
+					return
+				}
+				s.writeBatch(b)
+			}
+			continue
+		}
+		b, ok := <-s.q
+		if !ok {
+			return
+		}
 		s.writeBatch(b)
 	}
 }
@@ -217,23 +291,39 @@ func (s *SocketSink) writeNext() bool {
 }
 
 // writeBatch encodes one batch (unless the sink already failed), recycles
-// its buffer, and flushes if the queue is idle.
+// its buffer, and flushes if the queue is idle. Disconnected sinks spool or
+// drop instead of encoding.
 func (s *SocketSink) writeBatch(b sinkBatch) {
 	if b.barrier != nil {
-		if s.err.Load() == nil {
+		if !s.down && s.err.Load() == nil {
 			if err := s.flush(); err != nil {
-				s.fail(err)
+				s.wireFail(err)
 			}
 		}
+		// While disconnected the barrier degrades to a no-op: its pairs sit
+		// in the spool (or are accounted dropped), and blocking the epoch
+		// schedule on a dead consumer would wedge the whole slave.
 		close(b.barrier)
 		return
 	}
+	if s.down {
+		s.spoolBatch(b)
+		return
+	}
 	if s.err.Load() == nil {
-		if err := s.write(b); err != nil {
-			s.fail(err)
+		encoded, err := s.write(b)
+		if err != nil {
+			s.wireFail(err)
+			if s.down {
+				// Reconnect mode: wireFail reclassified everything unflushed
+				// (including this batch's encoded prefix) as dropped; the
+				// unencoded tail goes to the spool, which owns the buffer.
+				s.spoolBatch(sinkBatch{query: b.query, group: b.group, epoch: b.epoch, pairs: b.pairs[encoded:]})
+				return
+			}
 		} else if len(s.q) == 0 {
 			if err := s.flush(); err != nil {
-				s.fail(err)
+				s.wireFail(err)
 			}
 		}
 	} else {
@@ -245,8 +335,10 @@ func (s *SocketSink) writeBatch(b sinkBatch) {
 	}
 }
 
-// write encodes b as one or more PairBatch messages into the frame writer.
-func (s *SocketSink) write(b sinkBatch) error {
+// write encodes b as one or more PairBatch messages into the frame writer,
+// reporting how many pairs were consumed before any error.
+func (s *SocketSink) write(b sinkBatch) (int, error) {
+	consumed := 0
 	for pairs := b.pairs; len(pairs) > 0; {
 		n := len(pairs)
 		if n > maxPairsPerMsg {
@@ -258,12 +350,14 @@ func (s *SocketSink) write(b sinkBatch) error {
 		}
 		s.pb = wire.PairBatch{Slave: s.slave, Query: b.query, Group: b.group, Epoch: b.epoch, Pairs: s.enc}
 		if err := s.fw.Append(&s.pb); err != nil {
-			return err
+			return consumed, err
 		}
 		pairs = pairs[n:]
+		consumed += n
+		s.unflushed += int64(n)
 		s.account(b.query, int64(n))
 	}
-	return nil
+	return consumed, nil
 }
 
 // flush pushes the pending frame and the bufio layer to the connection.
@@ -274,6 +368,7 @@ func (s *SocketSink) flush() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
+	s.unflushed = 0
 	s.account(0, 0)
 	return nil
 }
@@ -289,6 +384,112 @@ func (s *SocketSink) account(query int32, n int64) {
 	s.bytes.Add(delta)
 	if s.p != nil && (n != 0 || delta != 0) {
 		s.p.addSink(query, n, delta, 0)
+	}
+}
+
+// wireFail handles a connection-level write error: legacy sinks fail for
+// good; reconnecting sinks close the dead conn, reclassify the pairs it
+// swallowed, and hand the problem to the redialer.
+func (s *SocketSink) wireFail(err error) {
+	if s.redial == nil {
+		s.fail(err)
+		return
+	}
+	// Everything encoded since the last successful flush never reached the
+	// consumer: move it from shipped to dropped, keeping
+	// delivered + dropped == emitted exact. (The per-process stats are not
+	// rewound; they remain a producer-side view.)
+	s.pairs.Add(-s.unflushed)
+	s.dropped.Add(s.unflushed)
+	s.unflushed = 0
+	s.down = true
+	s.conn.Close()
+	go s.redialer()
+}
+
+// spoolBatch retains b for replay after reconnection, or counts it dropped
+// once the estimated spool cap is exceeded. The spool owns b's buffer until
+// replay recycles it.
+func (s *SocketSink) spoolBatch(b sinkBatch) {
+	est := int64(len(b.pairs))*wire.PairEncSize + spoolBatchOverhead
+	if len(b.pairs) == 0 || s.spoolLen+est > s.spoolCap {
+		s.dropped.Add(int64(len(b.pairs)))
+		select {
+		case s.recycle <- b.pairs:
+		default:
+		}
+		return
+	}
+	s.spooled = append(s.spooled, b)
+	s.spoolLen += est
+}
+
+// dropSpooled accounts every still-spooled batch as dropped (sink closed
+// before the consumer came back).
+func (s *SocketSink) dropSpooled() {
+	for _, b := range s.spooled {
+		s.dropped.Add(int64(len(b.pairs)))
+	}
+	s.spooled, s.spoolLen = nil, 0
+}
+
+// attach swaps in a fresh connection and replays the spool through the
+// normal write path. A replay failure re-enters reconnect mode with the
+// unwritten tail respooled.
+func (s *SocketSink) attach(c io.WriteCloser) {
+	s.conn = c
+	s.w = bufio.NewWriterSize(c, 1<<16)
+	s.fw = wire.NewFrameWriter(s.w, sinkFlushBytes)
+	s.lastBytes = 0
+	s.down = false
+	s.reconnects.Add(1)
+	sp := s.spooled
+	s.spooled, s.spoolLen = nil, 0
+	for _, b := range sp {
+		if s.down {
+			s.spoolBatch(b)
+			continue
+		}
+		encoded, err := s.write(b)
+		if err != nil {
+			s.wireFail(err)
+			s.spoolBatch(sinkBatch{query: b.query, group: b.group, epoch: b.epoch, pairs: b.pairs[encoded:]})
+			continue
+		}
+		select {
+		case s.recycle <- b.pairs:
+		default:
+		}
+	}
+	if !s.down {
+		if err := s.flush(); err != nil {
+			s.wireFail(err)
+		}
+	}
+}
+
+// redialer reopens the consumer connection with capped exponential backoff,
+// handing the conn to the writer (or giving up when the sink closes).
+func (s *SocketSink) redialer() {
+	backoff := 50 * time.Millisecond
+	for {
+		c, err := s.redial()
+		if err == nil {
+			select {
+			case s.redialc <- c:
+			case <-s.bye:
+				c.Close()
+			}
+			return
+		}
+		select {
+		case <-s.bye:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
 	}
 }
 
@@ -315,6 +516,10 @@ func (s *SocketSink) Stats() (pairs, bytes int64, stall time.Duration, dropped i
 	return s.pairs.Load(), s.bytes.Load(), time.Duration(s.stall.Load()), s.dropped.Load()
 }
 
+// Reconnects reports how many times the sink re-established its consumer
+// connection (always 0 without a Redial option).
+func (s *SocketSink) Reconnects() int64 { return s.reconnects.Load() }
+
 // FlushBarrier blocks until every batch emitted before the call has been
 // encoded and flushed to the connection (or the sink has failed): once it
 // returns, the kernel holds every pair the join has produced so far, so
@@ -340,9 +545,14 @@ func (s *SocketSink) FlushBarrier() {
 func (s *SocketSink) Close() error {
 	close(s.q)
 	s.wg.Wait()
+	close(s.bye) // stop any in-flight redialer
 	err := s.Err()
 	if err == nil {
-		err = s.flush()
+		if s.down {
+			err = fmt.Errorf("engine: pair sink: closed while disconnected (%d pairs dropped)", s.dropped.Load())
+		} else {
+			err = s.flush()
+		}
 	}
 	if cerr := s.conn.Close(); err == nil {
 		err = cerr

@@ -1,0 +1,371 @@
+// Package faultnet is a deterministic fault-injecting network transport for
+// chaos tests. It implements engine.Transport over real TCP but lets a test
+// schedule faults on selected connections: added latency, bandwidth caps,
+// write stalls, resets after a byte budget, and one-way blackholes. Faults
+// are keyed by connection ordinal and byte count — never by wall-clock — so
+// a given seed and workload hit the same connection at the same point in the
+// protocol on every run.
+//
+// A Rule selects connections (by dialed/listening address, by match ordinal)
+// and describes the fault. Latency and bandwidth shaping act on the write
+// path only: every byte still crosses a real socket, so one shaped side
+// delays delivery for both. Reset and stall trigger on the cumulative bytes
+// written on the connection. Blackhole models a one-way partition: writes are
+// silently discarded and reads starve until the caller's read deadline
+// expires, which is exactly how a peer behind an asymmetric partition looks
+// to deadline-armed protocol code.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule selects connections and describes the fault injected into them. The
+// zero value of every selector widens the match: empty Addr matches any
+// address, Ordinal 0 matches every connection, Times 0 never expires.
+type Rule struct {
+	// Addr narrows the rule to connections dialed to (or, with Listen set,
+	// accepted by a listener bound to) this address. Empty matches all.
+	Addr string
+	// Listen applies the rule to accepted connections instead of dialed
+	// ones. Accepted connections match against the listener's bound address
+	// (remote ports are ephemeral and useless for selection).
+	Listen bool
+	// Ordinal, when nonzero, applies the rule only to the Nth connection
+	// (1-based) that matches Addr/Listen — the deterministic replacement
+	// for "the connection that happened to be open when the fault hit".
+	Ordinal int
+	// Times, when nonzero and Ordinal is zero, applies the rule to at most
+	// the first N matching connections.
+	Times int
+
+	// Latency is added before every write; Jitter adds a per-write uniform
+	// sample from [0, Jitter), drawn from the transport's seeded stream.
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBps caps write throughput by sleeping n/Bps per write.
+	BandwidthBps int64
+	// ResetAfter kills the connection once the cumulative bytes written
+	// reach the budget: the crossing write delivers the remaining quota,
+	// closes the socket, and returns an error.
+	ResetAfter int64
+	// Stall, when positive, blocks the first write at or past
+	// WriteStallAfter cumulative bytes for the given duration (once per
+	// connection). A stall longer than the peer's read deadline — or, for
+	// the writer, long enough that the underlying write deadline expires —
+	// turns a slow connection into a dead one.
+	WriteStallAfter int64
+	Stall           time.Duration
+	// Blackhole discards writes and starves reads (one-way partition).
+	Blackhole bool
+
+	matches atomic.Int64
+	fired   atomic.Int64
+}
+
+// Hits counts connections that matched Addr/Listen (before ordinal
+// selection). Fired counts connections this rule actually injected a fault
+// into.
+func (r *Rule) Hits() int64  { return r.matches.Load() }
+func (r *Rule) Fired() int64 { return r.fired.Load() }
+
+func (r *Rule) kind() string {
+	switch {
+	case r.Blackhole:
+		return "blackhole"
+	case r.ResetAfter > 0:
+		return "reset"
+	case r.Stall > 0:
+		return "stall"
+	case r.BandwidthBps > 0:
+		return "bandwidth"
+	default:
+		return "latency"
+	}
+}
+
+// Transport implements engine.Transport over real TCP, wrapping matched
+// connections with the configured fault rules.
+type Transport struct {
+	seed  int64
+	rules []*Rule
+	// Logf, when set, receives one line per fault injection (test logs, the
+	// chaos proxy's stderr).
+	Logf func(format string, args ...any)
+
+	conns atomic.Int64
+}
+
+// New builds a Transport injecting the given rules. The seed drives every
+// random draw (jitter), so two transports with equal seeds and workloads
+// inject identical fault schedules.
+func New(seed int64, rules ...*Rule) *Transport {
+	return &Transport{seed: seed, rules: rules}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// match selects the rules applying to a new connection and advances their
+// ordinal counters.
+func (t *Transport) match(addr string, listen bool) []*Rule {
+	var out []*Rule
+	for _, r := range t.rules {
+		if r.Listen != listen {
+			continue
+		}
+		if r.Addr != "" && r.Addr != addr {
+			continue
+		}
+		n := r.matches.Add(1)
+		if r.Ordinal != 0 && n != int64(r.Ordinal) {
+			continue
+		}
+		if r.Ordinal == 0 && r.Times > 0 && n > int64(r.Times) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// wrap attaches the matching rules to a fresh connection; unmatched
+// connections pass through untouched.
+func (t *Transport) wrap(c net.Conn, addr string, listen bool) net.Conn {
+	rules := t.match(addr, listen)
+	if len(rules) == 0 {
+		return c
+	}
+	id := t.conns.Add(1)
+	for _, r := range rules {
+		t.logf("faultnet: conn %d (%s, listen=%v) under %s rule", id, addr, listen, r.kind())
+	}
+	return &conn{
+		Conn:   c,
+		tr:     t,
+		addr:   addr,
+		rules:  rules,
+		rnd:    rand.New(rand.NewSource(t.seed + id)),
+		marked: make(map[*Rule]bool),
+		closed: make(chan struct{}),
+		dlch:   make(chan struct{}, 1),
+	}
+}
+
+// Dial implements engine.Transport.
+func (t *Transport) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(c, addr, false), nil
+}
+
+// DialTimeout implements engine.Transport.
+func (t *Transport) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(c, addr, false), nil
+}
+
+// Listen implements engine.Transport. Accepted connections match Listen
+// rules against the listener's bound address.
+func (t *Transport) Listen(network, addr string) (net.Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{Listener: l, tr: t}, nil
+}
+
+type listener struct {
+	net.Listener
+	tr *Transport
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.tr.wrap(c, l.Addr().String(), true), nil
+}
+
+// conn is one fault-injected connection. Write-path state (byte counters,
+// one-shot flags) is guarded by wmu; engine framers write from one goroutine
+// at a time, but the lock keeps the wrapper safe regardless.
+type conn struct {
+	net.Conn
+	tr    *Transport
+	addr  string
+	rules []*Rule
+	rnd   *rand.Rand
+
+	wmu     sync.Mutex
+	written int64
+	reset   bool
+	stalled bool
+	marked  map[*Rule]bool
+
+	closeOnce sync.Once
+	mu        sync.Mutex // guards rdl
+	rdl       time.Time
+	closed    chan struct{}
+	dlch      chan struct{}
+}
+
+// fire records one injection per rule per connection (reset and stall are
+// inherently one-shot; latency and bandwidth would otherwise count every
+// write).
+func (c *conn) fire(r *Rule) {
+	if c.marked[r] {
+		return
+	}
+	c.marked[r] = true
+	r.fired.Add(1)
+}
+
+func (c *conn) blackholed() *Rule {
+	for _, r := range c.rules {
+		if r.Blackhole {
+			return r
+		}
+	}
+	return nil
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if r := c.blackholed(); r != nil {
+		c.fire(r)
+		return len(b), nil // swallowed: the one-way partition's dead direction
+	}
+	if c.reset {
+		return 0, fmt.Errorf("faultnet: write to %s: connection already reset", c.addr)
+	}
+	for _, r := range c.rules {
+		if r.Latency > 0 || r.Jitter > 0 {
+			d := r.Latency
+			if r.Jitter > 0 {
+				d += time.Duration(c.rnd.Int63n(int64(r.Jitter)))
+			}
+			c.fire(r)
+			time.Sleep(d)
+		}
+		if r.Stall > 0 && !c.stalled && c.written >= r.WriteStallAfter {
+			c.stalled = true
+			c.fire(r)
+			c.tr.logf("faultnet: conn to %s stalling %v after %d bytes", c.addr, r.Stall, c.written)
+			time.Sleep(r.Stall)
+		}
+	}
+	for _, r := range c.rules {
+		if r.ResetAfter > 0 && c.written+int64(len(b)) > r.ResetAfter {
+			quota := r.ResetAfter - c.written
+			n := 0
+			if quota > 0 {
+				n, _ = c.Conn.Write(b[:quota])
+			}
+			c.written += int64(n)
+			c.reset = true
+			c.fire(r)
+			c.tr.logf("faultnet: conn to %s reset after %d bytes", c.addr, r.ResetAfter)
+			c.Close()
+			return n, fmt.Errorf("faultnet: write to %s: connection reset after %d bytes",
+				c.addr, r.ResetAfter)
+		}
+	}
+	n, err := c.Conn.Write(b)
+	c.written += int64(n)
+	for _, r := range c.rules {
+		if r.BandwidthBps > 0 && n > 0 {
+			c.fire(r)
+			time.Sleep(time.Duration(int64(n) * int64(time.Second) / r.BandwidthBps))
+		}
+	}
+	return n, err
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if r := c.blackholed(); r != nil {
+		c.wmu.Lock()
+		c.fire(r)
+		c.wmu.Unlock()
+		return 0, c.starve()
+	}
+	return c.Conn.Read(b)
+}
+
+// starve blocks a blackholed read until the read deadline expires or the
+// connection closes — data never arrives through a partition.
+func (c *conn) starve() error {
+	for {
+		c.mu.Lock()
+		dl := c.rdl
+		c.mu.Unlock()
+		var expire <-chan time.Time
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return timeoutError{}
+			}
+			t := time.NewTimer(d)
+			expire = t.C
+			defer t.Stop()
+		}
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-c.dlch:
+			// deadline moved; re-evaluate
+		case <-expire:
+			return timeoutError{}
+		}
+	}
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	select {
+	case c.dlch <- struct{}{}:
+	default:
+	}
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	select {
+	case c.dlch <- struct{}{}:
+	default:
+	}
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// timeoutError satisfies net.Error with Timeout() true, mirroring what a
+// deadline-armed read on a real socket returns.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: read starved past deadline (blackhole)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

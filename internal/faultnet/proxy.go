@@ -1,0 +1,90 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy fronts a TCP endpoint with the fault-injecting transport: it accepts
+// on its own address and pipes each connection to the target through a
+// faultnet dial, so rules keyed on the target address (and connection
+// ordinals, counted in accept order) apply to real processes that know
+// nothing about fault injection. The chaos e2e run puts one in front of the
+// master's control port.
+type Proxy struct {
+	l      net.Listener
+	target string
+	tr     *Transport
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr and forwards to target through tr.
+func NewProxy(listenAddr, target string, tr *Transport) (*Proxy, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{l: l, target: target, tr: tr}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	for {
+		in, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		out, err := p.tr.Dial("tcp", p.target)
+		if err != nil {
+			p.tr.logf("faultnet: proxy dial %s: %v", p.target, err)
+			in.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			in.Close()
+			out.Close()
+			return
+		}
+		p.conns = append(p.conns, in, out)
+		p.wg.Add(2)
+		p.mu.Unlock()
+		// Either direction failing (including an injected reset) tears down
+		// both legs, so each side sees a clean connection death.
+		go p.pipe(in, out)
+		go p.pipe(out, in)
+	}
+}
+
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	if _, err := io.Copy(dst, src); err != nil {
+		p.tr.logf("faultnet: proxy pipe: %v", err)
+	}
+	dst.Close()
+	src.Close()
+}
+
+// Close stops accepting and tears down every live connection.
+func (p *Proxy) Close() {
+	p.l.Close()
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}

@@ -209,6 +209,7 @@ type Hello struct {
 	WindowBytes  int64   // current window state held (metrics)
 	BacklogBytes int64   // unprocessed buffered tuples (metrics)
 	MoveACKs     []int64 // completed MoveIDs
+	Degraded     []int64 // MoveIDs completed with an empty install (state lost)
 }
 
 // Kind implements Message.
@@ -216,7 +217,7 @@ func (*Hello) Kind() Kind { return KindHello }
 
 // WireSize implements Message.
 func (h *Hello) WireSize() int64 {
-	return headerSize + 48 + 8*int64(len(h.MoveACKs))
+	return headerSize + 48 + 8*int64(len(h.MoveACKs)+len(h.Degraded))
 }
 
 // Directive orders one partition-group movement: From yields Group to To.
@@ -645,6 +646,10 @@ const tupleEncSize = 9
 // stored tuple).
 const pairEncSize = tupleEncSize + 8
 
+// PairEncSize exports the encoded per-pair size for layers that need to
+// estimate PairBatch volume without encoding (the sink's reconnect spool).
+const PairEncSize = pairEncSize
+
 func (d *decoder) tuples() []tuple.Tuple {
 	n := d.sliceLen()
 	if d.err != nil || n == 0 {
@@ -680,6 +685,10 @@ func (h *Hello) appendTo(b []byte) []byte {
 	for _, a := range h.MoveACKs {
 		b = appendI64(b, a)
 	}
+	b = appendU32(b, uint32(len(h.Degraded)))
+	for _, a := range h.Degraded {
+		b = appendI64(b, a)
+	}
 	return b
 }
 
@@ -693,6 +702,10 @@ func (h *Hello) decodeFrom(d *decoder) error {
 	n := d.sliceLen()
 	for i := 0; i < n && d.err == nil; i++ {
 		h.MoveACKs = append(h.MoveACKs, d.i64())
+	}
+	n = d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		h.Degraded = append(h.Degraded, d.i64())
 	}
 	return d.err
 }

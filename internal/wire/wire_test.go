@@ -30,6 +30,7 @@ func TestHelloRoundtrip(t *testing.T) {
 		WindowBytes:  1 << 30,
 		BacklogBytes: 4096,
 		MoveACKs:     []int64{9, 10, 11},
+		Degraded:     []int64{10},
 	}
 	got := roundtrip(t, h).(*Hello)
 	if !reflect.DeepEqual(h, got) {
