@@ -71,6 +71,18 @@ func main() {
 		fmt.Printf("degraded moves: %d (state lost in transit; windows restarted empty)\n",
 			r.MovesDegraded)
 	}
+	if r.MovesCompleted > 0 && r.XferStallTotal() > 0 {
+		// Slave-side stall accounting reaches the Result on in-process runs
+		// only; the TCP master has no view of it.
+		fmt.Printf("reorg stall:    %v worst epoch (%v total)\n",
+			r.XferStallMax().Round(10*time.Microsecond),
+			r.XferStallTotal().Round(10*time.Microsecond))
+	}
+	if r.EpochLat.Count > 0 {
+		// Slave-side lateness samples reach the Result on in-process runs
+		// only; the TCP master has no view of them.
+		fmt.Printf("p99 epoch:      %v late\n", r.EpochP99().Round(time.Millisecond))
+	}
 	fmt.Printf("master comm:    %v\n", r.Master.Comm.Round(time.Millisecond))
 	if cfg.MinSlaves > 0 {
 		fmt.Printf("membership:     %d joins, %d leaves, %d evictions\n",

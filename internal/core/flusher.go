@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/wire"
+)
+
+// overlapFlusher double-buffers the per-epoch collector flush: the slave
+// loop fills one bank of merged result batches while a single writer
+// goroutine drains the previous bank to the collector, so the epoch barrier
+// no longer pays the collector's send (and, at reorganization boundaries,
+// flush) latency. Two recycled banks rotate through a rendezvous-free
+// channel pair; because one writer consumes jobs in FIFO order, results
+// reach the collector in exactly the order a synchronous flush would ship
+// them — nothing is lost or reordered, only deferred by at most one epoch
+// (TestOverlapFlusher asserts this under the race detector). Enabled by
+// Config.OverlapFlush on the live engine only: the simulated engine's
+// virtual clock is single-threaded and keeps the synchronous flush.
+//
+// Paper correspondence: like chunked state movement (transfer.go), this is
+// the communication/computation overlap of the multicore follow-up paper
+// ("Processing Database Joins over a Shared-Nothing System of Multicore
+// Machines") applied to the delivery path: the join's processing phase runs
+// concurrently with the previous epoch's result delivery instead of behind
+// it.
+type overlapFlusher struct {
+	coll engine.AsyncSender
+	lp   *engine.LiveProc
+
+	jobs chan flushJob
+	free chan *flushBank
+	done chan struct{}
+	fail chan any // first transport failure recovered on the writer
+
+	once sync.Once
+}
+
+// flushBank is one reusable batch of outgoing result messages. It implements
+// engine.AsyncSender so workerSet.flushResults can fill it directly.
+type flushBank struct {
+	msgs []wire.Message
+}
+
+// SendAsync implements engine.AsyncSender by collecting the message.
+func (b *flushBank) SendAsync(m wire.Message) { b.msgs = append(b.msgs, m) }
+
+type flushJob struct {
+	bank     *flushBank
+	boundary bool // flush the batched transport after draining the bank
+}
+
+func newOverlapFlusher(coll engine.AsyncSender, lp *engine.LiveProc) *overlapFlusher {
+	f := &overlapFlusher{
+		coll: coll,
+		lp:   lp,
+		jobs: make(chan flushJob, 1),
+		free: make(chan *flushBank, 2),
+		done: make(chan struct{}),
+		fail: make(chan any, 1),
+	}
+	f.free <- &flushBank{}
+	f.free <- &flushBank{}
+	go f.writer()
+	return f
+}
+
+// post hands the current epoch's result batches to the writer. It blocks
+// only while both banks are in flight (the writer is more than one epoch
+// behind); that wait is the overlap path's entire barrier cost, accounted as
+// FlushWait. A transport failure the writer absorbed earlier re-panics here,
+// on the slave's goroutine, exactly where the synchronous flush would have
+// failed.
+func (f *overlapFlusher) post(ws *workerSet, boundary bool) {
+	select {
+	case r := <-f.fail:
+		panic(r)
+	default:
+	}
+	t0 := time.Now()
+	bank := <-f.free
+	if wait := time.Since(t0); wait > 0 {
+		f.lp.AddFlushWait(wait)
+	}
+	ws.flushResults(bank)
+	f.jobs <- flushJob{bank: bank, boundary: boundary}
+}
+
+// stop drains the writer: every posted job is delivered (or has failed)
+// before it returns. A failure observed during or before the drain surfaces
+// as the same panic the synchronous shutdown flush would raise. Idempotent,
+// so it can back both the orderly shutdown and the loop's defer.
+func (f *overlapFlusher) stop() {
+	f.once.Do(func() {
+		close(f.jobs)
+		<-f.done
+	})
+	select {
+	case r := <-f.fail:
+		panic(r)
+	default:
+	}
+}
+
+func (f *overlapFlusher) writer() {
+	defer close(f.done)
+	for job := range f.jobs {
+		if !f.deliver(job) {
+			// Delivery failed: recycle the bank anyway so the slave loop
+			// finds a free one, reaches post's failure check, and re-panics
+			// there instead of deadlocking on an empty free list.
+			job.bank.msgs = job.bank.msgs[:0]
+			f.free <- job.bank
+		}
+	}
+}
+
+// deliver drains one bank to the collector, absorbing a transport panic into
+// the fail slot (first failure wins; the slave loop re-raises it).
+func (f *overlapFlusher) deliver(job flushJob) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			select {
+			case f.fail <- r:
+			default:
+			}
+			ok = false
+		}
+	}()
+	for _, m := range job.bank.msgs {
+		f.coll.SendAsync(m)
+	}
+	if job.boundary {
+		engine.Flush(f.coll)
+	}
+	job.bank.msgs = job.bank.msgs[:0]
+	f.free <- job.bank
+	return true
+}

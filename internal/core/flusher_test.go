@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/wire"
+)
+
+// flushRecorder is the collector stand-in: it logs every delivered result
+// batch and every transport flush in arrival order. It is only written by the
+// overlap flusher's single writer goroutine; the test reads it after stop(),
+// whose channel handshake orders the reads after every write.
+type flushRecorder struct {
+	log []flushRec
+}
+
+type flushRec struct {
+	epoch int64 // DelaySumMs of the batch encodes the posting epoch
+	flush bool
+}
+
+func (r *flushRecorder) SendAsync(m wire.Message) {
+	r.log = append(r.log, flushRec{epoch: m.(*wire.ResultBatch).DelaySumMs})
+}
+
+func (r *flushRecorder) Flush() {
+	r.log = append(r.log, flushRec{flush: true})
+}
+
+// TestOverlapFlusher posts one result batch per epoch through the
+// double-buffered flush path while the posting goroutine immediately refills
+// the next epoch — the production overlap — and asserts, under the race
+// detector, that the collector receives every batch exactly once, in posting
+// order, with a transport flush after each boundary epoch's bank.
+func TestOverlapFlusher(t *testing.T) {
+	const epochs, boundary = 200, 10
+	cfg := DefaultConfig()
+	env := engine.NewLiveEnv()
+	lp := env.NewProc("flush-test")
+	ws := newWorkerSet(&cfg, 0, engine.NewInlineRunner(lp))
+	rec := &flushRecorder{}
+	f := newOverlapFlusher(rec, lp)
+
+	for e := int64(0); e < epochs; e++ {
+		// One output with delay e: the merged batch's DelaySumMs is e, which
+		// lets the recorder check ordering without inspecting bank internals.
+		addDelay(ws.workers[0].rbs[0], int32(e), 1)
+		f.post(ws, e%boundary == 0)
+	}
+	f.stop()
+
+	want := int64(0)
+	flushes := 0
+	for i, r := range rec.log {
+		if r.flush {
+			flushes++
+			// A boundary flush follows its own epoch's batch immediately: the
+			// writer drains the bank, then flushes the transport.
+			if i == 0 || rec.log[i-1].flush || rec.log[i-1].epoch%boundary != 0 {
+				t.Fatalf("log[%d]: flush not directly after a boundary batch", i)
+			}
+			continue
+		}
+		if r.epoch != want {
+			t.Fatalf("log[%d]: batch of epoch %d, want %d — lost or reordered", i, r.epoch, want)
+		}
+		want++
+	}
+	if want != epochs {
+		t.Fatalf("collector received %d batches, want %d", want, epochs)
+	}
+	if flushes != epochs/boundary {
+		t.Fatalf("transport flushed %d times, want %d", flushes, epochs/boundary)
+	}
+}
+
+// panicSender fails delivery after a fixed number of batches, the way a dead
+// collector connection would.
+type panicSender struct {
+	left int
+}
+
+func (p *panicSender) SendAsync(wire.Message) {
+	if p.left--; p.left < 0 {
+		panic(&engine.TCPError{})
+	}
+}
+
+// TestOverlapFlusherSurfacesFailure: a transport failure absorbed on the
+// writer goroutine must re-raise on the slave's goroutine — at the latest in
+// stop(), which every shutdown path runs — instead of being swallowed or
+// deadlocking the bank rotation.
+func TestOverlapFlusherSurfacesFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	env := engine.NewLiveEnv()
+	lp := env.NewProc("flush-fail")
+	ws := newWorkerSet(&cfg, 0, engine.NewInlineRunner(lp))
+	f := newOverlapFlusher(&panicSender{left: 1}, lp)
+
+	defer func() {
+		if _, ok := recover().(*engine.TCPError); !ok {
+			t.Fatal("transport failure never surfaced on the posting goroutine")
+		}
+	}()
+	for e := int64(0); e < 8; e++ {
+		addDelay(ws.workers[0].rbs[0], int32(e), 1)
+		f.post(ws, false)
+	}
+	f.stop()
+	t.Fatal("flusher shut down cleanly over a dead transport")
+}

@@ -257,6 +257,7 @@ func RunLive(cfg Config) (*Result, error) {
 		}
 		res.Splits += slaves[i].ws.splitsTotal()
 		res.Merges += slaves[i].ws.mergesTotal()
+		res.EpochLat.Merge(&slaves[i].epochLat)
 	}
 	return res, nil
 }

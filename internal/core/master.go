@@ -283,6 +283,15 @@ func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 	for _, ack := range hello.MoveACKs {
 		m.completeMove(ack)
 	}
+	// Cut-over announcements: the supplier has fully shipped its snapshot
+	// and sends the closing catch-up delta this epoch, so start withholding
+	// the group's tuples now — this same exchange's batch already excludes
+	// them. They release to the new owner when the consumer's ack arrives.
+	for _, id := range hello.Closing {
+		if mi, ok := m.inflight[id]; ok {
+			m.heldGroup[mi.group] = true
+		}
+	}
 	// Moves the consumer completed with an empty install: the window state
 	// was lost in transit (dead or stalled supplier, no local shadow). The
 	// run still converges; the count makes the loss exact rather than silent.
@@ -318,6 +327,15 @@ func (m *masterNode) exchange(e int64, i int32, stopping bool) {
 		m.active[i] = true
 	}
 	deact := m.pendDeact[i]
+	if deact && m.cfg.TransferChunk > 0 && m.slaveInflight(i) {
+		// Chunked transfers stream over several consecutive epochs, and both
+		// endpoints must keep their per-epoch exchanges until the last move
+		// acks — so the deactivation waits with them (pendDeact stays set,
+		// which also keeps the slave out of new reorganization pairings).
+		// With monolithic transfers every move completes within the epoch
+		// that delivered it, so the gate never fires on the default path.
+		deact = false
+	}
 	if deact {
 		batch.Deactivate = true
 		m.pendDeact[i] = false
@@ -417,6 +435,17 @@ func (m *masterNode) completeMove(id int64) {
 	}
 }
 
+// slaveInflight reports whether slave i is an endpoint of any unfinished
+// movement (the deactivation gate for multi-epoch chunked transfers).
+func (m *masterNode) slaveInflight(i int32) bool {
+	for _, mi := range m.inflight {
+		if mi.from == i || mi.to == i {
+			return true
+		}
+	}
+	return false
+}
+
 // busySlaves returns the set of slaves that are part of an unfinished
 // movement or have undelivered directives; they sit out this reorganization.
 func (m *masterNode) busySlaves() map[int32]bool {
@@ -439,10 +468,17 @@ func (m *masterNode) busySlaves() map[int32]bool {
 }
 
 // freeGroupsOf lists the groups owned by slave i that are not mid-movement.
+// An incremental transfer's group is not held at the master until its
+// cut-over, so in-flight moves are checked directly rather than through
+// heldGroup.
 func (m *masterNode) freeGroupsOf(i int32) []int32 {
+	moving := make(map[int32]bool, len(m.inflight))
+	for _, mi := range m.inflight {
+		moving[mi.group] = true
+	}
 	var out []int32
 	for g, owner := range m.groupOwner {
-		if owner == i && !m.heldGroup[int32(g)] {
+		if owner == i && !m.heldGroup[int32(g)] && !moving[int32(g)] {
 			out = append(out, int32(g))
 		}
 	}
@@ -576,7 +612,14 @@ func (m *masterNode) issueMove(g, from, to int32) {
 	m.nextMove++
 	m.pendDir[from] = append(m.pendDir[from], d)
 	m.pendDir[to] = append(m.pendDir[to], d)
-	m.heldGroup[g] = true
+	if m.cfg.TransferChunk <= 0 {
+		// Monolithic movement: the supplier extracts the whole group the
+		// epoch the directive lands, so its tuples must be withheld from
+		// that same epoch. Incremental movement keeps the supplier owning
+		// and probing the group; withholding starts only when its Hello
+		// announces the cut-over (Closing, handled in exchange).
+		m.heldGroup[g] = true
+	}
 	m.inflight[d.MoveID] = moveInfo{id: d.MoveID, group: g, from: from, to: to}
 	m.movesIssued++
 }

@@ -33,6 +33,14 @@ type Result struct {
 	Master engine.Stats
 	Slaves []engine.Stats
 
+	// EpochLat aggregates every slave's per-epoch servicing latency over the
+	// whole run: how far past its scheduled slot a slave finished the epoch
+	// barrier work (result flush, Hello/Batch exchange, state movement) and
+	// resumed processing. Reorganization stalls surface in its tail —
+	// EpochP99 is the headline number chunked transfer and overlap flushing
+	// are meant to pull down.
+	EpochLat metrics.DelayStats
+
 	// SlaveWindowBytes and SlaveActive are end-of-run snapshots.
 	SlaveWindowBytes []int64
 	SlaveActive      []bool
@@ -91,6 +99,33 @@ type Result struct {
 
 // MeanDelay is the average production delay over the measurement interval.
 func (r *Result) MeanDelay() time.Duration { return r.Delay.Mean() }
+
+// EpochP99 is the 99th-percentile epoch servicing latency across all slaves
+// and epochs (upper bucket edge; see metrics.DelayStats.ApproxQuantile).
+func (r *Result) EpochP99() time.Duration { return r.EpochLat.ApproxQuantile(0.99) }
+
+// XferStallTotal sums the slaves' epoch-barrier state-movement stall over
+// the measurement interval (live engine; zero on the simulated engine).
+func (r *Result) XferStallTotal() time.Duration {
+	var total time.Duration
+	for _, s := range r.Slaves {
+		total += s.XferStall
+	}
+	return total
+}
+
+// XferStallMax is the worst single-epoch state-movement stall any slave
+// observed over the whole run — the pause a reorganization inserts into the
+// epoch cadence, which incremental transfers exist to bound.
+func (r *Result) XferStallMax() time.Duration {
+	var max time.Duration
+	for _, s := range r.Slaves {
+		if s.XferStallMax > max {
+			max = s.XferStallMax
+		}
+	}
+	return max
+}
 
 // AggregateComm sums slave communication time over the measurement interval.
 func (r *Result) AggregateComm() time.Duration {
@@ -327,6 +362,7 @@ func RunSim(cfg Config) (*Result, error) {
 		}
 		res.Splits += slaves[i].ws.splitsTotal()
 		res.Merges += slaves[i].ws.mergesTotal()
+		res.EpochLat.Merge(&slaves[i].epochLat)
 	}
 	return res, nil
 }

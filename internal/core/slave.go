@@ -7,6 +7,7 @@ import (
 
 	"streamjoin/internal/engine"
 	"streamjoin/internal/join"
+	"streamjoin/internal/metrics"
 	"streamjoin/internal/tuple"
 	"streamjoin/internal/wire"
 )
@@ -41,6 +42,13 @@ type slaveNode struct {
 	// master can account the loss exactly instead of silently absorbing it.
 	degraded []int64
 
+	// closing carries the MoveIDs of outgoing incremental transfers whose
+	// snapshot is fully shipped: the next epoch sends the catch-up
+	// StateTransfer. Announced in that epoch's Hello so the master starts
+	// withholding the group's tuples exactly when the supplier stops
+	// covering them (transfer.go).
+	closing []int64
+
 	active bool
 
 	// Elastic membership (zero on fixed-topology deployments). ptab
@@ -63,10 +71,26 @@ type slaveNode struct {
 	preFlush func()
 	failHook func(e int64)
 
+	// Incremental state movement (transfer.go; both maps stay nil with
+	// TransferChunk 0). xferOut tracks transfers this slave is streaming out,
+	// xferIn the ones it is accumulating, both keyed by MoveID.
+	xferOut map[int64]*outXfer
+	xferIn  map[int64]*inXfer
+
+	// oflush, when non-nil, decouples the per-epoch collector flush from the
+	// slave loop (flusher.go; live engine with cfg.OverlapFlush).
+	oflush *overlapFlusher
+
 	// instrumentation
 	movesServed    int64
 	groupsPromoted int64
 	promoteMisses  int64
+	xfersAborted   int64
+	// epochLat records, per epoch, how far past its scheduled slot this
+	// slave finished the barrier work (flush, Hello/Batch exchange, state
+	// movement) and resumed processing — the latency reorganization stalls
+	// inflate. Harvested into Result.EpochLat after the run.
+	epochLat metrics.DelayStats
 }
 
 func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []engine.Conn, coll engine.AsyncSender, runner engine.Runner) *slaveNode {
@@ -74,7 +98,7 @@ func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []
 	if runner == nil {
 		runner = engine.NewInlineRunner(proc)
 	}
-	return &slaveNode{
+	s := &slaveNode{
 		cfg:    cfg,
 		id:     id,
 		proc:   proc,
@@ -84,11 +108,23 @@ func newSlave(cfg *Config, id int32, proc engine.Proc, mst engine.Conn, peers []
 		ws:     newWorkerSet(cfg, id, runner),
 		active: active,
 	}
+	if cfg.OverlapFlush && coll != nil {
+		// Overlap flushing needs a real writer goroutine, so it is a live-
+		// engine feature; the simulated engine keeps the synchronous flush
+		// (its virtual clock is single-threaded).
+		if lp, ok := proc.(*engine.LiveProc); ok {
+			s.oflush = newOverlapFlusher(coll, lp)
+		}
+	}
+	return s
 }
 
 // run is the slave process body.
 func (s *slaveNode) run() {
 	defer s.ws.close()
+	if s.oflush != nil {
+		defer s.oflush.stop()
+	}
 	td := time.Duration(s.cfg.DistEpochMs) * time.Millisecond
 	slotOff := s.cfg.slotOffset(int(s.id))
 	K := s.cfg.epochsPerReorg()
@@ -121,7 +157,7 @@ func (s *slaveNode) run() {
 		if s.preFlush != nil {
 			s.preFlush()
 		}
-		s.ws.flushResults(s.coll)
+		s.flushEpoch(e%K == 0)
 		if s.repl != nil {
 			s.repl.flush(s.ws, e, msOf(s.proc.Now()))
 		}
@@ -145,14 +181,15 @@ func (s *slaveNode) run() {
 			BacklogBytes: backlogBytes,
 			MoveACKs:     s.acks,
 			Degraded:     s.degraded,
+			Closing:      s.closing,
 		})
-		s.acks, s.degraded = nil, nil
+		s.acks, s.degraded, s.closing = nil, nil, nil
 		if e%K == 0 {
-			// Reorganization boundary: restart the averaging window and
-			// push out any result batches still coalescing in the batched
-			// transport, so collector staleness is bounded by t_r.
+			// Reorganization boundary: restart the averaging window (the
+			// boundary flushEpoch above already pushed out any result batches
+			// still coalescing in the batched transport, so collector
+			// staleness is bounded by t_r).
 			s.occSum, s.occN = 0, 0
-			engine.Flush(s.coll)
 		}
 
 		// On an elastic cluster the batch may be preceded by Membership
@@ -173,7 +210,10 @@ func (s *slaveNode) run() {
 		if batch.Activate {
 			s.active = true
 		}
-		s.handleDirectives(batch.Directives)
+		moveT0 := s.proc.Now()
+		if s.handleDirectives(batch.Directives) {
+			s.addXferStall(s.proc.Now() - moveT0)
+		}
 		for _, t := range batch.Tuples {
 			s.ws.enqueue(t)
 		}
@@ -181,9 +221,18 @@ func (s *slaveNode) run() {
 			s.active = false
 		}
 		if batch.Shutdown {
-			s.ws.flushResults(s.coll)
-			engine.Flush(s.coll)
+			s.settleTransfers()
+			s.closeFlush()
 			return
+		}
+
+		// Epoch servicing latency: how far past the scheduled slot the
+		// barrier work (flush, exchange, state movement) pushed the start of
+		// this epoch's processing phase.
+		if lat := s.proc.Now() - (epochStart + slotOff); lat > 0 {
+			s.epochLat.Add(msOf(lat), 1)
+		} else {
+			s.epochLat.Add(0, 1)
 		}
 
 		// Process until the next participation point.
@@ -199,23 +248,56 @@ func (s *slaveNode) run() {
 	}
 }
 
-// handleDirectives executes movement orders in MoveID order: supplies first
-// (extract and send state), then consumes (receive and install). Supplies
-// are buffered, so several groups yielded to the same consumer share one
-// physical frame on a batched transport; every touched peer connection is
-// flushed before the first blocking consume, which keeps the exchange
-// deadlock-free. Per-peer ordering is preserved because both the supplier
-// and the consumer walk their directives in MoveID order.
-func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
-	if len(dirs) == 0 {
+// flushEpoch ships the previous epoch's result batches to the collector —
+// synchronously, or through the overlap flusher's writer goroutine when one
+// is attached. At reorganization boundaries the batched transport is flushed
+// so collector staleness stays bounded by t_r.
+func (s *slaveNode) flushEpoch(boundary bool) {
+	if s.oflush != nil {
+		s.oflush.post(s.ws, boundary)
 		return
+	}
+	s.ws.flushResults(s.coll)
+	if boundary {
+		engine.Flush(s.coll)
+	}
+}
+
+// closeFlush performs the shutdown flush: the final result batches reach the
+// collector before the slave loop returns, through whichever flush path the
+// run used.
+func (s *slaveNode) closeFlush() {
+	if s.oflush != nil {
+		s.oflush.post(s.ws, true)
+		s.oflush.stop()
+		return
+	}
+	s.ws.flushResults(s.coll)
+	engine.Flush(s.coll)
+}
+
+// handleDirectives executes this epoch's state-movement step — new movement
+// orders plus one message of every in-flight incremental transfer — and
+// reports whether any movement work ran (stall accounting). Sends come
+// first, in MoveID order: supplies of new directives (whole groups, or the
+// opening installment of an incremental transfer), then one installment or
+// final of each transfer already streaming out. All of them are buffered, so
+// several messages to the same consumer share one physical frame on a
+// batched transport; every touched peer connection is flushed before the
+// first blocking receive, which keeps the exchange deadlock-free. Receives
+// follow, also in MoveID order — the opening receive of each new consume
+// interleaved with one message of each transfer already streaming in —
+// matching the send order of every supplier.
+func (s *slaveNode) handleDirectives(dirs []wire.Directive) bool {
+	if len(dirs) == 0 && len(s.xferOut) == 0 && len(s.xferIn) == 0 {
+		return false
 	}
 	sort.Slice(dirs, func(i, j int) bool { return dirs[i].MoveID < dirs[j].MoveID })
 	consumes := 0
 	for _, d := range dirs {
 		switch {
 		case d.From == s.id:
-			s.supplyGroup(d)
+			s.supplyOrStart(d)
 			s.movesServed++
 		case d.To == s.id:
 			consumes++
@@ -223,16 +305,10 @@ func (s *slaveNode) handleDirectives(dirs []wire.Directive) {
 			panic(fmt.Sprintf("core: slave %d got foreign directive %+v", s.id, d))
 		}
 	}
+	s.stepOutgoing()
 	s.flushPeers()
-	if consumes == 0 {
-		return
-	}
-	for _, d := range dirs {
-		if d.To == s.id {
-			s.consumeGroup(d)
-			s.movesServed++
-		}
-	}
+	s.stepIncoming(dirs, consumes)
+	return true
 }
 
 // peerConn resolves the mesh connection to another slave: the fixed slice
@@ -279,53 +355,39 @@ func (s *slaveNode) applyMembership(ms *wire.Membership) {
 	}
 }
 
+// supplyGroup performs a monolithic supply: extract the whole group and ship
+// it as one StateTransfer. On an elastic mesh the consumer may be dead or
+// unreachable; the state is then lost with the move — the master unwinds it
+// and re-adopts the group empty on a survivor (sendTo severs the peer so
+// sibling directives fail fast instead of re-waiting the patience budget).
 func (s *slaveNode) supplyGroup(d wire.Directive) {
 	st, pending := s.ws.extractGroup(d.Group)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(pending)))
-	msg := st.ToWire(d.MoveID, pending)
-	if s.ptab == nil {
-		engine.SendBuffered(s.peer[d.To], msg)
-		return
-	}
-	// Elastic mesh: the consumer may be dead or unreachable. The state is
-	// then lost with the move — the master unwinds it and re-adopts the
-	// group empty on a survivor.
-	if p := s.peerConn(d.To); p != nil {
-		if !tolerateTCP(func() { engine.SendBuffered(p, msg) }) {
-			// Sever immediately: later directives naming this peer fail fast
-			// instead of each waiting out the table's patience budget.
-			s.ptab.fail(d.To)
-		}
-	} else {
-		// The consumer never appeared within the patience budget (dead, or
-		// behind a one-way partition that swallowed its mesh handshake).
-		// Cache the verdict so sibling directives don't re-wait it.
-		s.ptab.fail(d.To)
-	}
+	s.sendTo(d.To, st.ToWire(d.MoveID, pending))
 }
 
 func (s *slaveNode) consumeGroup(d wire.Directive) {
+	// A consumer death mid-transfer can bounce a group right back onto its
+	// old supplier (re-adoption); any outgoing transfer of this group must
+	// die first so the install below finds the group unowned.
+	s.abortOutgoingGroup(d.Group)
 	if d.From <= -2 {
 		// Promotion order: the previous owner crashed, but its windows were
 		// chain-replicated here — install the local shadow (replica.go).
 		s.promoteGroup(d)
 		return
 	}
-	var msg *wire.StateTransfer
+	var msg wire.Message
 	switch {
 	case d.From < 0:
 		// Adoption order (elastic): there is no supplier — the previous
 		// owner crashed and its windows are gone. Install the group empty
 		// (one depth-0 bucket) so processing resumes, and ack so ownership
 		// transfers.
-		msg = &wire.StateTransfer{
-			MoveID:  d.MoveID,
-			Group:   d.Group,
-			Buckets: []wire.BucketSpec{{LocalDepth: 0, Bits: 0}},
-		}
+		msg = emptyTransfer(d)
 	case s.ptab != nil:
 		if p := s.peerConn(d.From); p != nil {
-			if !tolerateTCP(func() { msg = s.recvTransfer(p, d) }) {
+			if !tolerateTCP(func() { msg = s.recvMove(p, d) }) {
 				// A deadline timeout lands here too: a supplier that stalls
 				// past the mesh read deadline is severed like a dead one.
 				s.ptab.fail(d.From)
@@ -334,49 +396,81 @@ func (s *slaveNode) consumeGroup(d wire.Directive) {
 			s.ptab.fail(d.From) // cache the verdict for sibling directives
 		}
 		if msg == nil {
-			// The supplier died before (or while) shipping the state. If
-			// this slave happens to be its buddy, the group's shadow is
-			// local — install that instead of losing the windows.
-			if st, ok := s.takeReplica(d.From, d.Group); ok {
-				s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples()))
-				if err := s.ws.installState(st, nil); err != nil {
-					panic(err)
-				}
-				s.acks = append(s.acks, d.MoveID)
-				return
-			}
-			// Otherwise the window contents are lost. Fall back to an empty
-			// install and ack, so the movement still completes — but report
-			// the move as degraded so the loss is accounted, not silent.
-			s.degraded = append(s.degraded, d.MoveID)
-			msg = &wire.StateTransfer{
-				MoveID:  d.MoveID,
-				Group:   d.Group,
-				Buckets: []wire.BucketSpec{{LocalDepth: 0, Bits: 0}},
-			}
+			s.failoverConsume(d)
+			return
 		}
 	default:
-		msg = s.recvTransfer(s.peer[d.From], d)
+		msg = s.recvMove(s.peer[d.From], d)
 	}
+	if c, ok := msg.(*wire.StateChunk); ok {
+		// The supplier opened an incremental transfer: accumulate, and ack
+		// only when the closing StateTransfer completes it (transfer.go).
+		s.beginIncoming(d, c)
+		return
+	}
+	s.installTransfer(msg.(*wire.StateTransfer))
+}
+
+// failoverConsume completes a consume whose supplier died before (or while)
+// shipping the state. If this slave happens to be the supplier's buddy, the
+// group's shadow is local — install that instead of losing the windows.
+// Otherwise the window contents are lost: fall back to an empty install and
+// ack, so the movement still completes — but report the move as degraded so
+// the loss is accounted, not silent.
+func (s *slaveNode) failoverConsume(d wire.Directive) {
+	if st, ok := s.takeReplica(d.From, d.Group); ok {
+		s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples()))
+		if err := s.ws.installState(st, nil); err != nil {
+			panic(err)
+		}
+		s.acks = append(s.acks, d.MoveID)
+		return
+	}
+	s.degraded = append(s.degraded, d.MoveID)
+	s.installTransfer(emptyTransfer(d))
+}
+
+// installTransfer installs a completed state transfer (monolithic, or the
+// assembled snapshot-plus-delta of an incremental one) and acks the move.
+func (s *slaveNode) installTransfer(msg *wire.StateTransfer) {
 	st := join.StateFromWire(msg)
 	s.proc.Compute(s.cfg.Cost.Move(st.WindowTuples() + len(msg.Pending)))
 	if err := s.ws.installState(st, msg.Pending); err != nil {
 		panic(err)
 	}
-	s.acks = append(s.acks, d.MoveID)
+	s.acks = append(s.acks, msg.MoveID)
 }
 
-// recvTransfer reads the state transfer matching directive d from a mesh
-// connection. Protocol violations (wrong kind, mismatched move) stay fatal;
-// transport failures are the caller's concern.
-func (s *slaveNode) recvTransfer(p engine.Conn, d wire.Directive) *wire.StateTransfer {
-	msg, ok := p.Recv().(*wire.StateTransfer)
-	if !ok {
-		panic(fmt.Sprintf("core: slave %d expected StateTransfer from %d", s.id, d.From))
+// emptyTransfer is the install payload of a move whose state never arrives:
+// one depth-0 bucket, no windows.
+func emptyTransfer(d wire.Directive) *wire.StateTransfer {
+	return &wire.StateTransfer{
+		MoveID:  d.MoveID,
+		Group:   d.Group,
+		Buckets: []wire.BucketSpec{{LocalDepth: 0, Bits: 0}},
 	}
-	if msg.MoveID != d.MoveID || msg.Group != d.Group {
+}
+
+// recvMove reads the next state-movement message matching directive d from a
+// mesh connection — a monolithic (or closing) StateTransfer, or one
+// StateChunk installment of an incremental transfer. Protocol violations
+// (wrong kind, mismatched move) stay fatal; transport failures are the
+// caller's concern.
+func (s *slaveNode) recvMove(p engine.Conn, d wire.Directive) wire.Message {
+	msg := p.Recv()
+	var moveID int64
+	var group int32
+	switch m := msg.(type) {
+	case *wire.StateTransfer:
+		moveID, group = m.MoveID, m.Group
+	case *wire.StateChunk:
+		moveID, group = m.MoveID, m.Group
+	default:
+		panic(fmt.Sprintf("core: slave %d expected state transfer from %d, got %T", s.id, d.From, msg))
+	}
+	if moveID != d.MoveID || group != d.Group {
 		panic(fmt.Sprintf("core: slave %d: transfer %d/%d does not match directive %+v",
-			s.id, msg.MoveID, msg.Group, d))
+			s.id, moveID, group, d))
 	}
 	return msg
 }

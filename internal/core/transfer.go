@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// This file implements incremental state movement — the overlap of
+// reorganization with computation. A monolithic movement (§IV-C) freezes the
+// moving partition-group for one epoch exchange: the supplier extracts the
+// whole window state and the consumer blocks until all of it has arrived,
+// so a large group turns the epoch barrier into a stall proportional to the
+// window size. With Config.TransferChunk > 0 the supplier instead snapshots
+// the group's windows at the directive epoch and streams the snapshot as
+// chunk-sized StateChunk installments, one per distribution epoch, while it
+// KEEPS OWNING AND PROCESSING the group: new arrivals that reach the group
+// during the transfer are ingested and probed locally, and recorded as a
+// catch-up delta. When the snapshot is fully shipped, the next epoch carries
+// an ordinary closing StateTransfer whose window payload is that catch-up
+// delta (everything ingested since the snapshot), plus the remaining
+// unprocessed backlog and the directory shape — the atomic cut-over at an
+// epoch boundary. The consumer concatenates snapshot installments and delta
+// and installs exactly once, then acks the MoveID as a monolithic consume
+// would; the master's Directive/ACK choreography, the buddy-replication
+// reset on install, and the degraded-move fallbacks all carry over
+// unchanged.
+//
+// Correctness sketch: while the snapshot streams, the master keeps routing
+// the moving group's new tuples to the supplier — it still owns the group,
+// probes them on arrival, and the capture folds them into the delta. When
+// the snapshot is fully shipped the supplier announces the cut-over in its
+// next Hello (wire.Hello.Closing); from that epoch the master withholds the
+// group's tuples, so the closing delta — built the same epoch — covers every
+// tuple the supplier ever ingested, with nothing in flight behind it. The
+// withheld tuples (one or two epochs' worth, the same bound as a monolithic
+// move) release to the new owner when the consumer's ack completes the
+// move. Each tuple is probed exactly once against the full window of its
+// time, so the output pair multiset is identical to the monolithic
+// transfer's (TestIncrementalTransferEquivalence asserts this over real
+// TCP). Because the directive epoch itself now delivers tuples to a supplier
+// that extracts state the same epoch under a monolithic supply, chunked mode
+// routes EVERY supply through the capture path — a group at or below
+// TransferChunk simply ships its whole snapshot in the opening installment
+// and cuts over one epoch later.
+//
+// Deadlock freedom: the endpoints of in-flight movements are excluded from
+// new reorganization pairings (busySlaves), so the set of concurrent
+// transfers always forms a bipartite supplier→consumer graph with disjoint
+// sides. Each epoch every supplier buffers its installments and flushes
+// before any slave blocks receiving, exactly the supplies-then-consumes
+// discipline of the monolithic exchange — no cycle can form, even over
+// in-process rendezvous pipes.
+//
+// Paper correspondence: the follow-up work ("Processing Database Joins over
+// a Shared-Nothing System of Multicore Machines") overlaps communication
+// with computation to hide data-redistribution latency behind the join
+// itself; chunked state movement is that idea applied to the windowed
+// stream-join setting of §IV-C, where the unit of redistribution is a
+// partition-group's window state rather than a static relation fragment.
+
+// xferCapture accumulates the catch-up delta of one outgoing incremental
+// transfer: every tuple the supplier ingests into the moving group after its
+// snapshot, in processing order per stream. It is fed by runRound on the
+// owning worker's goroutine (like the buddy-replication capture) and read by
+// the slave loop with the workers parked, so it needs no locking.
+type xferCapture struct {
+	runs [2][]tuple.Tuple
+}
+
+// outXfer is the supplier side of one in-flight incremental movement.
+type outXfer struct {
+	d    wire.Directive
+	snap [2][]tuple.Tuple // unsent remainder of the wire-converted snapshot
+	seq  int32            // next installment index
+	// fresh marks a transfer whose opening installment went out this epoch
+	// (startOutgoing); the per-epoch stepOutgoing sweep skips it once so a
+	// transfer ships exactly one message per epoch.
+	fresh bool
+}
+
+func (x *outXfer) snapLeft() int { return len(x.snap[0]) + len(x.snap[1]) }
+
+// inXfer is the consumer side of one in-flight incremental movement: the
+// snapshot installments received so far, awaiting the closing StateTransfer.
+type inXfer struct {
+	d      wire.Directive
+	window [2][]tuple.Tuple
+	next   int32 // expected next installment index
+}
+
+// supplyOrStart routes a supply directive: through the incremental transfer
+// state machine when chunked movement is enabled, monolithic otherwise. In
+// chunked mode the master keeps routing the group's tuples here until the
+// cut-over is announced — including in the directive epoch itself — so even
+// an empty or single-chunk group must take the capture path: a monolithic
+// extract would race the tuples delivered behind this very directive.
+func (s *slaveNode) supplyOrStart(d wire.Directive) {
+	if s.cfg.TransferChunk > 0 {
+		s.startOutgoing(d)
+		return
+	}
+	s.supplyGroup(d)
+}
+
+// startOutgoing opens an incremental transfer for directive d: snapshot the
+// group without detaching it, ship the first installment, and start the
+// catch-up capture. A group not grown yet snapshots empty and cuts over one
+// epoch later, its whole state riding the catch-up delta.
+func (s *slaveNode) startOutgoing(d wire.Directive) {
+	w := s.ws.workerOf(d.Group)
+	x := &outXfer{d: d, fresh: true}
+	if g, ok := w.mod.Get(d.Group); ok {
+		snap := g.Extract()
+		for st := 0; st < 2; st++ {
+			ts := make([]tuple.Tuple, len(snap.Window[st]))
+			for i, p := range snap.Window[st] {
+				ts[i] = tuple.Tuple{Stream: tuple.StreamID(st), Key: p.Key, TS: p.TS}
+			}
+			x.snap[st] = ts
+		}
+	}
+	if w.xcap == nil {
+		w.xcap = make(map[int32]*xferCapture)
+	}
+	w.xcap[d.Group] = &xferCapture{}
+	if s.xferOut == nil {
+		s.xferOut = make(map[int64]*outXfer)
+	}
+	s.xferOut[d.MoveID] = x
+	s.sendInstallment(x)
+}
+
+// sendInstallment ships the next chunk of the snapshot (at most TransferChunk
+// tuples, zero-copy sub-slices). A delivery failure aborts the transfer. The
+// installment that exhausts the snapshot schedules the cut-over: the next
+// Hello announces the move as Closing so the master stops routing the
+// group's tuples here, and the epoch after carries the closing transfer.
+func (s *slaveNode) sendInstallment(x *outXfer) {
+	chunk := &wire.StateChunk{MoveID: x.d.MoveID, Group: x.d.Group, Seq: x.seq}
+	limit := s.cfg.TransferChunk
+	for st := 0; st < 2 && limit > 0; st++ {
+		n := min(limit, len(x.snap[st]))
+		chunk.Window[st] = x.snap[st][:n:n]
+		x.snap[st] = x.snap[st][n:]
+		limit -= n
+	}
+	x.seq++
+	n := len(chunk.Window[0]) + len(chunk.Window[1])
+	s.proc.Compute(s.cfg.Cost.Move(n))
+	s.addXfer(1, int64(n))
+	if !s.sendTo(x.d.To, chunk) {
+		s.abortOutgoing(x)
+		return
+	}
+	if x.snapLeft() == 0 {
+		s.closing = append(s.closing, x.d.MoveID)
+	}
+}
+
+// finishOutgoing cuts the movement over: the group now really leaves this
+// slave (extractGroup) and the closing StateTransfer carries the catch-up
+// delta — the snapshot itself is already on the consumer — plus the
+// remaining backlog and the directory shape the consumer rebuilds under.
+func (s *slaveNode) finishOutgoing(x *outXfer) {
+	w := s.ws.workerOf(x.d.Group)
+	delta := w.xcap[x.d.Group]
+	st, pending := s.ws.extractGroup(x.d.Group)
+	msg := &wire.StateTransfer{
+		MoveID:      x.d.MoveID,
+		Group:       x.d.Group,
+		GlobalDepth: uint8(st.GlobalDepth),
+		Pending:     pending,
+	}
+	if delta != nil {
+		msg.Window = delta.runs
+	}
+	for _, sp := range st.Buckets {
+		msg.Buckets = append(msg.Buckets, wire.BucketSpec{LocalDepth: uint8(sp.Local), Bits: sp.Bits})
+	}
+	n := len(msg.Window[0]) + len(msg.Window[1]) + len(pending)
+	s.proc.Compute(s.cfg.Cost.Move(n))
+	s.addXfer(1, int64(n))
+	delete(s.xferOut, x.d.MoveID)
+	s.sendTo(x.d.To, msg)
+}
+
+// abortOutgoing drops an in-flight outgoing transfer whose consumer is gone.
+// The group's state is discarded — the same loss profile as a monolithic
+// supply toward a dead consumer: the master unwinds the move and re-adopts
+// the group empty (or promotes a replica) on a survivor.
+func (s *slaveNode) abortOutgoing(x *outXfer) {
+	s.ws.extractGroup(x.d.Group) // discard; also clears the catch-up capture
+	delete(s.xferOut, x.d.MoveID)
+	s.xfersAborted++
+}
+
+// abortOutgoingGroup aborts any outgoing transfer of group g before an
+// install of the same group: when a consumer dies mid-transfer the master
+// may re-adopt g anywhere — including right back onto its old supplier —
+// and the install must find the group unowned.
+func (s *slaveNode) abortOutgoingGroup(g int32) {
+	for _, x := range s.xferOut {
+		if x.d.Group == g {
+			s.abortOutgoing(x)
+		}
+	}
+}
+
+// stepOutgoing advances every in-flight outgoing transfer by exactly one
+// buffered message — the next installment, or the closing StateTransfer once
+// the snapshot is fully shipped — in MoveID order (the consumer reads in the
+// same order). Transfers opened this epoch already sent their installment.
+func (s *slaveNode) stepOutgoing() {
+	if len(s.xferOut) == 0 {
+		return
+	}
+	ids := make([]int64, 0, len(s.xferOut))
+	for id := range s.xferOut {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		x, ok := s.xferOut[id]
+		if !ok {
+			continue // aborted by an earlier install this epoch
+		}
+		if x.fresh {
+			x.fresh = false
+			continue
+		}
+		if x.snapLeft() > 0 {
+			s.sendInstallment(x)
+		} else {
+			s.finishOutgoing(x)
+		}
+	}
+}
+
+// stepIncoming performs this epoch's blocking receives: one message per
+// in-flight incoming transfer plus the opening receive of every new consume
+// directive, interleaved in MoveID order to match the suppliers' send order.
+func (s *slaveNode) stepIncoming(dirs []wire.Directive, consumes int) {
+	if consumes == 0 && len(s.xferIn) == 0 {
+		return
+	}
+	type step struct {
+		id int64
+		d  wire.Directive
+		x  *inXfer // nil for a fresh consume directive
+	}
+	steps := make([]step, 0, consumes+len(s.xferIn))
+	for _, d := range dirs {
+		if d.To == s.id {
+			steps = append(steps, step{id: d.MoveID, d: d})
+		}
+	}
+	for id, x := range s.xferIn {
+		steps = append(steps, step{id: id, x: x})
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].id < steps[j].id })
+	for _, st := range steps {
+		if st.x != nil {
+			s.continueIncoming(st.x)
+		} else {
+			s.consumeGroup(st.d)
+			s.movesServed++
+		}
+	}
+}
+
+// beginIncoming registers a transfer whose opening message was a StateChunk:
+// the consume completes — and acks — only when the closing StateTransfer
+// arrives.
+func (s *slaveNode) beginIncoming(d wire.Directive, c *wire.StateChunk) {
+	if c.Seq != 0 {
+		panic(fmt.Sprintf("core: slave %d: transfer %d opened with installment %d",
+			s.id, d.MoveID, c.Seq))
+	}
+	if s.xferIn == nil {
+		s.xferIn = make(map[int64]*inXfer)
+	}
+	x := &inXfer{d: d, next: 1}
+	x.window[0] = c.Window[0]
+	x.window[1] = c.Window[1]
+	s.xferIn[d.MoveID] = x
+}
+
+// continueIncoming receives one message of an in-flight incoming transfer:
+// an installment extends the accumulated snapshot; the closing StateTransfer
+// completes the movement (snapshot plus catch-up delta install as one). A
+// supplier death mid-stream discards the incomplete prefix and fails over
+// exactly like a monolithic consume that never got its transfer.
+func (s *slaveNode) continueIncoming(x *inXfer) {
+	d := x.d
+	var msg wire.Message
+	if s.ptab == nil {
+		msg = s.recvMove(s.peer[d.From], d)
+	} else {
+		if p := s.peerConn(d.From); p != nil {
+			if !tolerateTCP(func() { msg = s.recvMove(p, d) }) {
+				s.ptab.fail(d.From)
+			}
+		} else {
+			s.ptab.fail(d.From)
+		}
+		if msg == nil {
+			delete(s.xferIn, d.MoveID)
+			s.failoverConsume(d)
+			return
+		}
+	}
+	switch m := msg.(type) {
+	case *wire.StateChunk:
+		if m.Seq != x.next {
+			panic(fmt.Sprintf("core: slave %d: transfer %d installment %d, want %d",
+				s.id, d.MoveID, m.Seq, x.next))
+		}
+		x.next++
+		x.window[0] = append(x.window[0], m.Window[0]...)
+		x.window[1] = append(x.window[1], m.Window[1]...)
+	case *wire.StateTransfer:
+		delete(s.xferIn, d.MoveID)
+		m.Window[0] = append(x.window[0], m.Window[0]...)
+		m.Window[1] = append(x.window[1], m.Window[1]...)
+		s.installTransfer(m)
+	}
+}
+
+// settleTransfers completes every in-flight transfer at shutdown: suppliers
+// burst their remaining installments and finals, then consumers drain the
+// mirror image. The supplier and consumer sides of in-flight movements are
+// disjoint (busySlaves), so burst-then-drain cannot deadlock even on
+// rendezvous transports.
+func (s *slaveNode) settleTransfers() {
+	if len(s.xferOut) == 0 && len(s.xferIn) == 0 {
+		return
+	}
+	outIDs := make([]int64, 0, len(s.xferOut))
+	for id := range s.xferOut {
+		outIDs = append(outIDs, id)
+	}
+	slices.Sort(outIDs)
+	for _, id := range outIDs {
+		for {
+			x, ok := s.xferOut[id]
+			if !ok {
+				break
+			}
+			if x.snapLeft() > 0 {
+				s.sendInstallment(x)
+			} else {
+				s.finishOutgoing(x)
+			}
+		}
+	}
+	s.flushPeers()
+	inIDs := make([]int64, 0, len(s.xferIn))
+	for id := range s.xferIn {
+		inIDs = append(inIDs, id)
+	}
+	slices.Sort(inIDs)
+	for _, id := range inIDs {
+		for {
+			x, ok := s.xferIn[id]
+			if !ok {
+				break
+			}
+			s.continueIncoming(x)
+		}
+	}
+}
+
+// sendTo buffers msg toward peer `to`, reporting delivery. On a fixed
+// topology a transport failure is fatal (as everywhere else); on an elastic
+// mesh the dead peer is severed and false is returned so the caller can
+// unwind (the master re-plans around the lost consumer).
+func (s *slaveNode) sendTo(to int32, msg wire.Message) bool {
+	if s.ptab == nil {
+		engine.SendBuffered(s.peer[to], msg)
+		return true
+	}
+	if p := s.peerConn(to); p != nil {
+		if tolerateTCP(func() { engine.SendBuffered(p, msg) }) {
+			return true
+		}
+	}
+	// Sever immediately: later sends naming this peer fail fast instead of
+	// each waiting out the table's patience budget.
+	s.ptab.fail(to)
+	return false
+}
+
+// addXfer accounts shipped transfer messages (live engine; the simulated
+// engine carries movement cost through the modeled clock instead).
+func (s *slaveNode) addXfer(chunks, tuples int64) {
+	if lp, ok := s.proc.(*engine.LiveProc); ok {
+		lp.AddXfer(chunks, tuples, 0)
+	}
+}
+
+// addXferStall accounts epoch-barrier time spent moving state.
+func (s *slaveNode) addXferStall(d time.Duration) {
+	if lp, ok := s.proc.(*engine.LiveProc); ok {
+		lp.AddXfer(0, 0, d)
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamjoin/internal/engine"
+	"streamjoin/internal/faultnet"
+	"streamjoin/internal/tuple"
+	"streamjoin/internal/wire"
+)
+
+// xferRig wires a supplier and a consumer slaveNode over one in-process
+// rendezvous pipe, with no master: tests drive handleDirectives on both ends
+// directly, one epoch at a time, so every installment of an incremental
+// transfer is observable between epochs.
+type xferRig struct {
+	cfg      Config
+	sup, con *slaveNode
+	supP     *engine.LiveProc
+}
+
+func newXferRig(chunk int) *xferRig {
+	r := &xferRig{cfg: DefaultConfig()}
+	r.cfg.Slaves = 2
+	r.cfg.TransferChunk = chunk
+	env := engine.NewLiveEnv()
+	pa, pb := env.NewProc("xfer-sup"), env.NewProc("xfer-con")
+	ab, ba := engine.Pipe(pa, pb)
+	r.sup = newSlave(&r.cfg, 0, pa, nil, []engine.Conn{nil, ab}, nil, nil)
+	r.con = newSlave(&r.cfg, 1, pb, nil, []engine.Conn{ba, nil}, nil, nil)
+	r.supP = pa
+	return r
+}
+
+// ingest queues n S1/S2 tuple pairs of one key on a slave and processes them
+// into its windows (the backlog fully drains: the deadline is generous and
+// the window outlives every test timestamp).
+func (r *xferRig) ingest(s *slaveNode, key int32, n int, ts0 int32) {
+	for i := 0; i < n; i++ {
+		ts := ts0 + int32(i)
+		s.ws.enqueue(tuple.Tuple{Stream: tuple.S1, Key: key, TS: ts})
+		s.ws.enqueue(tuple.Tuple{Stream: tuple.S2, Key: key, TS: ts})
+	}
+	s.ws.processUntil(s.proc.Now() + time.Second)
+}
+
+// step runs one epoch's movement exchange on both endpoints concurrently
+// (the pipe is rendezvous, so supplier sends and consumer receives must
+// overlap, exactly as the per-slave goroutines do in a real run).
+func (r *xferRig) step(t *testing.T, d *wire.Directive) {
+	t.Helper()
+	var supDirs, conDirs []wire.Directive
+	if d != nil {
+		supDirs = []wire.Directive{*d}
+		conDirs = []wire.Directive{*d}
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); r.con.handleDirectives(conDirs) }()
+	r.sup.handleDirectives(supDirs)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("epoch exchange deadlocked")
+	}
+}
+
+// windowTuplesOf reads the current window size of group g on a slave, or -1
+// when the slave does not own it.
+func windowTuplesOf(s *slaveNode, g int32) int {
+	grp, ok := s.ws.workerOf(g).mod.Get(g)
+	if !ok {
+		return -1
+	}
+	st := grp.Extract()
+	return st.WindowTuples()
+}
+
+// TestIncrementalTransferStateMachine drives the chunked movement protocol
+// deterministically through every phase: snapshot + opening installment,
+// per-epoch streaming while the supplier keeps processing (with the catch-up
+// capture), and the closing cut-over transfer that carries the delta and
+// acks the move.
+func TestIncrementalTransferStateMachine(t *testing.T) {
+	t.Run("chunked-handoff", func(t *testing.T) {
+		r := newXferRig(8)
+		key := int32(7)
+		g := r.cfg.GroupOfKey(key)
+		r.ingest(r.sup, key, 40, 0) // 80 window tuples: 10 installments of 8
+		d := &wire.Directive{MoveID: 7, Group: g, From: 0, To: 1}
+
+		r.step(t, d)
+		if len(r.sup.xferOut) != 1 || len(r.con.xferIn) != 1 {
+			t.Fatalf("after the opening epoch: %d outgoing, %d incoming transfers, want 1/1",
+				len(r.sup.xferOut), len(r.con.xferIn))
+		}
+		if n := windowTuplesOf(r.sup, g); n != 80 {
+			t.Fatalf("supplier window = %d tuples mid-transfer, want 80 (still owned)", n)
+		}
+		if n := windowTuplesOf(r.con, g); n != -1 {
+			t.Fatalf("consumer owns the group (%d tuples) before cut-over", n)
+		}
+
+		// The supplier keeps ingesting and probing the moving group; the new
+		// tuples must land in the catch-up capture, not the shipped snapshot.
+		r.ingest(r.sup, key, 2, 1_000)
+		cap := r.sup.ws.workerOf(g).xcap[g]
+		if cap == nil {
+			t.Fatal("no catch-up capture registered for the moving group")
+		}
+		if len(cap.runs[0]) != 2 || len(cap.runs[1]) != 2 {
+			t.Fatalf("capture holds %d/%d tuples, want 2/2", len(cap.runs[0]), len(cap.runs[1]))
+		}
+
+		steps := 1
+		for len(r.sup.xferOut) > 0 || len(r.con.xferIn) > 0 {
+			r.step(t, nil)
+			if steps++; steps > 40 {
+				t.Fatal("transfer did not converge")
+			}
+		}
+		// 80 snapshot tuples at 8 per epoch, then the closing transfer.
+		if steps != 11 {
+			t.Errorf("transfer took %d epochs, want 11 (10 installments + cut-over)", steps)
+		}
+		if n := windowTuplesOf(r.con, g); n != 84 {
+			t.Errorf("consumer window = %d tuples after cut-over, want 84 (snapshot + delta)", n)
+		}
+		if n := windowTuplesOf(r.sup, g); n != -1 {
+			t.Errorf("supplier still owns the group (%d tuples) after cut-over", n)
+		}
+		if len(r.sup.ws.workerOf(g).xcap) != 0 {
+			t.Error("catch-up capture not cleared at cut-over")
+		}
+		if len(r.con.acks) != 1 || r.con.acks[0] != 7 {
+			t.Errorf("consumer acks = %v, want [7] — only the closing transfer acks", r.con.acks)
+		}
+		// The supplier scheduled the cut-over announcement when the last
+		// installment emptied the snapshot: the next Hello would carry the
+		// MoveID so the master starts withholding the group's tuples.
+		if len(r.sup.closing) != 1 || r.sup.closing[0] != 7 {
+			t.Errorf("supplier closing announcements = %v, want [7]", r.sup.closing)
+		}
+		st := r.supP.Stats()
+		if st.XferChunks != 11 || st.XferTuples != 84 {
+			t.Errorf("supplier shipped %d messages / %d tuples, want 11 / 84",
+				st.XferChunks, st.XferTuples)
+		}
+	})
+
+	t.Run("small-group", func(t *testing.T) {
+		// A group that fits within one chunk still takes the capture path —
+		// the master routes tuples to the supplier through the directive
+		// epoch, so a same-epoch monolithic extract would race them. The
+		// whole snapshot rides the opening installment and the group cuts
+		// over one epoch later.
+		r := newXferRig(8)
+		key := int32(7)
+		g := r.cfg.GroupOfKey(key)
+		r.ingest(r.sup, key, 3, 0) // 6 window tuples <= chunk
+		r.step(t, &wire.Directive{MoveID: 9, Group: g, From: 0, To: 1})
+		if len(r.sup.xferOut) != 1 || len(r.con.xferIn) != 1 {
+			t.Fatalf("after the opening epoch: %d outgoing, %d incoming transfers, want 1/1",
+				len(r.sup.xferOut), len(r.con.xferIn))
+		}
+		if len(r.sup.closing) != 1 || r.sup.closing[0] != 9 {
+			t.Fatalf("supplier closing announcements = %v, want [9] after the single installment",
+				r.sup.closing)
+		}
+		r.step(t, nil)
+		if len(r.sup.xferOut) != 0 || len(r.con.xferIn) != 0 {
+			t.Fatalf("small group left streaming state: %d out, %d in",
+				len(r.sup.xferOut), len(r.con.xferIn))
+		}
+		if n := windowTuplesOf(r.con, g); n != 6 {
+			t.Errorf("consumer window = %d tuples, want 6", n)
+		}
+		if len(r.con.acks) != 1 || r.con.acks[0] != 9 {
+			t.Errorf("consumer acks = %v, want [9]", r.con.acks)
+		}
+		if st := r.supP.Stats(); st.XferChunks != 2 || st.XferTuples != 6 {
+			t.Errorf("supplier shipped %d messages / %d tuples, want 2 / 6",
+				st.XferChunks, st.XferTuples)
+		}
+	})
+
+	t.Run("shutdown-settle", func(t *testing.T) {
+		// Shutdown arrives two epochs into a stream: settleTransfers must
+		// burst the remaining installments and the cut-over symmetrically so
+		// no window state is stranded.
+		r := newXferRig(8)
+		key := int32(7)
+		g := r.cfg.GroupOfKey(key)
+		r.ingest(r.sup, key, 40, 0)
+		r.step(t, &wire.Directive{MoveID: 11, Group: g, From: 0, To: 1})
+		r.step(t, nil)
+		if len(r.sup.xferOut) != 1 {
+			t.Fatal("transfer finished before the settle could exercise it")
+		}
+		done := make(chan struct{})
+		go func() { defer close(done); r.con.settleTransfers() }()
+		r.sup.settleTransfers()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("settle deadlocked")
+		}
+		if len(r.sup.xferOut) != 0 || len(r.con.xferIn) != 0 {
+			t.Fatalf("settle left streaming state: %d out, %d in",
+				len(r.sup.xferOut), len(r.con.xferIn))
+		}
+		if n := windowTuplesOf(r.con, g); n != 80 {
+			t.Errorf("consumer window = %d tuples after settle, want 80", n)
+		}
+		if len(r.con.acks) != 1 || r.con.acks[0] != 11 {
+			t.Errorf("consumer acks = %v, want [11]", r.con.acks)
+		}
+	})
+}
+
+// incrementalTestConfig shapes the equivalence clusters so chunked transfers
+// genuinely engage: four large partition-groups (~190 window tuples each by
+// the end of the elastic workload) instead of the default sixty sparse ones,
+// so every rebalanced group spans many installments at small TransferChunk.
+func incrementalTestConfig(chunk int) Config {
+	cfg := elasticTestConfig()
+	cfg.Partitions = 4
+	cfg.TransferChunk = chunk
+	cfg.OverlapFlush = true
+	return cfg
+}
+
+// TestIncrementalTransferEquivalence is the acceptance test of the
+// incremental-reorganization tentpole: over real TCP with W=4 join workers,
+// a cluster whose movements stream chunk-by-chunk while the supplier keeps
+// processing must produce exactly the pair multiset of the monolithic
+// protocol — which TestElasticEquivalence pins to the brute-force ground
+// truth — under a clean rebalance, under a consumer crash mid-transfer with
+// buddy replication recovering the windows, and under injected wire latency.
+func TestIncrementalTransferEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP test")
+	}
+	work := elasticWorkload(400, 8_000, 20, 48)
+	expected := bruteForcePairs(work)
+	if len(expected) < 1_000 {
+		t.Fatalf("vacuous workload: only %d expected pairs", len(expected))
+	}
+
+	type slaveSpec struct {
+		cfg   Config
+		opts  JoinOptions
+		delay time.Duration
+	}
+	runCluster := func(t *testing.T, masterCfg Config, slaves []slaveSpec, tolerateSlaveErr bool) (*Result, int) {
+		t.Helper()
+		addrs := freePorts(t, 2)
+		ctl, res := addrs[0], addrs[1]
+		var wg sync.WaitGroup
+		slaveErr := make(chan error, len(slaves))
+		for _, sp := range slaves {
+			wg.Add(1)
+			go func(sp slaveSpec) {
+				defer wg.Done()
+				if sp.delay > 0 {
+					time.Sleep(sp.delay)
+				}
+				if err := ServeSlaveJoin(sp.cfg, ctl, res, sp.opts); err != nil {
+					slaveErr <- err
+				}
+			}(sp)
+		}
+		result, err := serveMasterElastic(masterCfg, ctl, res, t.Logf,
+			&listIngestor{tuples: append([]tuple.Tuple(nil), work...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(slaveErr)
+		failures := 0
+		for err := range slaveErr {
+			failures++
+			if tolerateSlaveErr {
+				t.Logf("slave exit (expected for the crashed one): %v", err)
+			} else {
+				t.Error(err)
+			}
+		}
+		return result, failures
+	}
+
+	t.Run("scale-out-incremental", func(t *testing.T) {
+		// 2 → 3 with chunked transfers and the overlapped flush: the joiner's
+		// rebalance streams each moved group over many epochs while its old
+		// owner keeps processing it, and the multiset must still be exact.
+		cfg := incrementalTestConfig(16)
+		cfg.MinSlaves = 2
+		sink := newFPSink(t, false)
+		cfg.SinkAddr = sink.addr()
+
+		result, _ := runCluster(t, cfg, []slaveSpec{
+			{cfg: cfg},
+			{cfg: cfg},
+			{cfg: cfg, delay: 3 * time.Second},
+		}, false)
+
+		if result.Joins != 3 {
+			t.Errorf("joins = %d, want 3", result.Joins)
+		}
+		if result.Evictions != 0 || result.Leaves != 0 {
+			t.Errorf("unexpected departures: %d evictions, %d leaves", result.Evictions, result.Leaves)
+		}
+		if result.GroupsRebalanced == 0 {
+			t.Error("no groups rebalanced toward the joiner — no transfer ever streamed")
+		}
+		if result.MovesCompleted == 0 {
+			t.Error("no movements completed — every chunked transfer stalled")
+		}
+		if result.MovesDegraded != 0 {
+			t.Errorf("%d moves degraded on a healthy cluster", result.MovesDegraded)
+		}
+		diffMultisets(t, "incremental scale-out vs brute force", sink.finish(t), expected)
+		if s := sink.tally.SeqDups(); s != 0 {
+			t.Errorf("collector flagged %d replayed batches", s)
+		}
+		t.Logf("incremental scale-out: %d pairs (exact), %d rebalanced, %d moves completed",
+			sink.tally.Pairs(), result.GroupsRebalanced, result.MovesCompleted)
+	})
+
+	t.Run("crash-mid-transfer", func(t *testing.T) {
+		// The joiner dies while its rebalance is still streaming in (small
+		// chunks over big groups guarantee the transfers span the kill
+		// epoch). The supplier aborts its outgoing streams, the master
+		// unwinds the in-flight moves, and — with buddy replication on — the
+		// lost-in-transit windows are promoted from the suppliers' buddies:
+		// the output must still be the exact brute-force multiset.
+		cfg := incrementalTestConfig(8)
+		cfg.MinSlaves = 2
+		cfg.Replicate = true
+		sink := newFPSink(t, true) // the killed joiner tears its sink mid-frame
+		cfg.SinkAddr = sink.addr()
+
+		result, failures := runCluster(t, cfg, []slaveSpec{
+			{cfg: cfg},
+			{cfg: cfg},
+			// Joins ~3s in (epoch ~12), participates from the next reorg
+			// boundary (epoch 20) when the rebalance transfers start, and is
+			// killed three epochs later with those streams still in flight.
+			{cfg: cfg, opts: JoinOptions{failAt: 23}, delay: 3 * time.Second},
+		}, true)
+
+		if failures != 1 {
+			t.Errorf("%d slaves failed, want exactly 1 (the injected crash)", failures)
+		}
+		if result.Evictions != 1 {
+			t.Errorf("evictions = %d, want 1", result.Evictions)
+		}
+		if result.GroupsRebalanced == 0 {
+			t.Error("no groups rebalanced toward the joiner before the crash — the kill raced nothing")
+		}
+		ms := sink.finish(t)
+		diffMultisets(t, "crash mid-transfer vs brute force", ms, expected)
+		if s := sink.tally.SeqDups(); s != 0 {
+			t.Errorf("collector flagged %d replayed batches — dedup had to absorb output", s)
+		}
+		if result.LostWindowTuples != 0 || result.PairsLost != 0 {
+			t.Errorf("master estimates loss despite promotion: %d window tuples, %d pairs",
+				result.LostWindowTuples, result.PairsLost)
+		}
+		t.Logf("crash mid-transfer: %d pairs (exact), %d promoted, %d rebalanced, %d evictions",
+			sink.tally.Pairs(), result.GroupsPromoted, result.GroupsRebalanced, result.Evictions)
+	})
+
+	t.Run("chaos-latency", func(t *testing.T) {
+		// Seeded 10-20ms latency on every write of every connection while the
+		// joiner's rebalance streams chunk-by-chunk: slow wires stretch the
+		// installment schedule but may not lose, duplicate, or reorder
+		// anything, and latency is still not death.
+		cfg := incrementalTestConfig(16)
+		cfg.MinSlaves = 2
+		sink := newFPSink(t, false)
+		cfg.SinkAddr = sink.addr()
+		dialRule := &faultnet.Rule{Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond}
+		acceptRule := &faultnet.Rule{Listen: true, Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond}
+		cfg.Transport = faultnet.New(7, dialRule, acceptRule)
+
+		result, _ := runCluster(t, cfg, []slaveSpec{
+			{cfg: cfg},
+			{cfg: cfg},
+			{cfg: cfg, delay: 3 * time.Second},
+		}, false)
+
+		if result.Evictions != 0 || result.Leaves != 0 {
+			t.Errorf("latency caused departures: %d evictions, %d leaves", result.Evictions, result.Leaves)
+		}
+		if result.GroupsRebalanced == 0 {
+			t.Error("no groups rebalanced under latency — no transfer ever streamed")
+		}
+		if result.MovesDegraded != 0 {
+			t.Errorf("latency degraded %d moves", result.MovesDegraded)
+		}
+		diffMultisets(t, "chaos-latency incremental vs brute force", sink.finish(t), expected)
+		if s := sink.tally.SeqDups(); s != 0 {
+			t.Errorf("collector flagged %d replayed batches", s)
+		}
+		if dialRule.Fired() == 0 || acceptRule.Fired() == 0 {
+			t.Errorf("latency rules never fired (dial %d, accept %d)", dialRule.Fired(), acceptRule.Fired())
+		}
+	})
+}

@@ -48,6 +48,12 @@ type joinWorker struct {
 	// (replica.go); only populated when the workerSet replicates.
 	repl map[int32]*replDelta
 
+	// xcap accumulates catch-up deltas for groups this slave is streaming
+	// out incrementally (transfer.go): while a chunked movement is in flight
+	// the group keeps processing here, and every tuple it ingests must reach
+	// the consumer in the closing transfer. Nil until a transfer starts.
+	xcap map[int32]*xferCapture
+
 	// instrumentation
 	outputs   int64
 	roundsRun int64
@@ -215,6 +221,7 @@ func (ws *workerSet) extractGroup(id int32) (join.State, []tuple.Tuple) {
 	pending := w.input[id]
 	delete(w.input, id)
 	delete(w.repl, id) // the new owner re-replicates from its own snapshot
+	delete(w.xcap, id) // an in-flight chunked transfer of id ends with it
 	w.backlog -= int64(len(pending))
 	return g.Extract(), pending
 }
@@ -334,6 +341,15 @@ func (w *joinWorker) takeChunk(g int32) []tuple.Tuple {
 func (w *joinWorker) runRound(ws *workerSet, g int32, chunk []tuple.Tuple) {
 	if ws.replicate && len(chunk) > 0 {
 		w.captureRepl(g, chunk)
+	}
+	if len(chunk) > 0 {
+		// The group is mid-movement (chunked transfer): everything ingested
+		// from here on ships in the closing transfer's catch-up delta.
+		if c := w.xcap[g]; c != nil {
+			for _, t := range chunk {
+				c.runs[t.Stream] = append(c.runs[t.Stream], t)
+			}
+		}
 	}
 	results := w.mod.ProcessAll(g, ws.roundNow(w), chunk)
 	// Shared round work (ingest, expiry, tuning) is charged to results[0]

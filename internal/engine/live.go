@@ -142,6 +142,29 @@ func (p *LiveProc) AddRepl(deltasSent, tuplesSent, deltasRecv, tuplesRecv int64)
 	p.mu.Unlock()
 }
 
+// AddXfer folds state-movement activity into the process stats: incremental
+// installments shipped (supplier side) and the time the slave loop spent
+// blocked moving state at the epoch barrier (both sides, monolithic
+// transfers included — the metric the incremental path exists to shrink).
+func (p *LiveProc) AddXfer(chunks, tuples int64, stall time.Duration) {
+	p.mu.Lock()
+	p.stats.XferChunks += chunks
+	p.stats.XferTuples += tuples
+	p.stats.XferStall += stall
+	if stall > p.stats.XferStallMax {
+		p.stats.XferStallMax = stall
+	}
+	p.mu.Unlock()
+}
+
+// AddFlushWait folds the overlap-flush handoff wait into the process stats
+// (the residual barrier cost of the double-buffered collector flush).
+func (p *LiveProc) AddFlushWait(d time.Duration) {
+	p.mu.Lock()
+	p.stats.FlushWait += d
+	p.mu.Unlock()
+}
+
 // pipeConn is one end of an in-process rendezvous connection: unbuffered
 // channels give MPI-like blocking semantics.
 type pipeConn struct {
@@ -159,11 +182,14 @@ func Pipe(a, b *LiveProc) (Conn, Conn) {
 		&pipeConn{p: b, send: ba, recv: ab}
 }
 
-// Send implements Conn.
+// Send implements Conn. The rendezvous handoff transfers ownership of m to
+// the receiver, which may mutate it in place (incremental state transfers
+// do), so the size must be read before the channel send.
 func (c *pipeConn) Send(m wire.Message) {
 	t0 := c.p.Now()
+	size := m.WireSize()
 	c.send <- m
-	c.p.addComm(c.p.Now()-t0, m.WireSize(), 0, 1, 0)
+	c.p.addComm(c.p.Now()-t0, size, 0, 1, 0)
 }
 
 // Recv implements Conn.
@@ -379,8 +405,11 @@ func NewLiveAsyncSender(p *LiveProc, ib *LiveInbox) *LiveAsyncSender {
 }
 
 // SendAsync implements AsyncSender: it blocks only when the inbox is full.
+// Like pipeConn.Send, the channel send transfers ownership of m, so the
+// size is read before the handoff.
 func (s *LiveAsyncSender) SendAsync(m wire.Message) {
 	t0 := s.p.Now()
+	size := m.WireSize()
 	s.ib.ch <- m
-	s.p.addComm(s.p.Now()-t0, m.WireSize(), 0, 1, 0)
+	s.p.addComm(s.p.Now()-t0, size, 0, 1, 0)
 }

@@ -63,6 +63,13 @@ const (
 	// copy promoted on eviction. Never sent unless replication is enabled, so
 	// both fixed and replication-off elastic traffic stay byte-identical.
 	KindWindowDelta
+	// KindStateChunk belongs to the incremental-reorganization extension: a
+	// moving partition-group's window snapshot is streamed supplier→consumer
+	// as chunk-sized installments over consecutive epochs, closed by an
+	// ordinary StateTransfer carrying the catch-up delta. Never sent unless
+	// chunked transfer is enabled (-transfer-chunk > 0), so default traffic
+	// stays byte-identical to the monolithic-transfer protocol.
+	KindStateChunk
 )
 
 func (k Kind) String() string {
@@ -93,6 +100,8 @@ func (k Kind) String() string {
 		return "Pong"
 	case KindWindowDelta:
 		return "WindowDelta"
+	case KindStateChunk:
+		return "StateChunk"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -159,6 +168,8 @@ func decodeMessage(d *decoder) (Message, error) {
 		m = &Pong{}
 	case KindWindowDelta:
 		m = &WindowDelta{}
+	case KindStateChunk:
+		m = &StateChunk{}
 	case KindResultBatchQ, KindPairBatchQ:
 		// Query-tagged variants: a non-zero query id precedes the legacy
 		// body. Query 0 must use the legacy kind (the canonical encoding),
@@ -210,6 +221,14 @@ type Hello struct {
 	BacklogBytes int64   // unprocessed buffered tuples (metrics)
 	MoveACKs     []int64 // completed MoveIDs
 	Degraded     []int64 // MoveIDs completed with an empty install (state lost)
+	// Closing lists in-flight incremental transfers whose supplier has fully
+	// shipped its snapshot and will send the closing catch-up StateTransfer
+	// this epoch. Until then the master keeps routing the moving group's new
+	// tuples to the supplier (which probes them and folds them into the
+	// delta); on Closing it starts withholding them, so the consumer's
+	// catch-up backlog is bounded by the ack round trip — one or two epochs —
+	// instead of the whole transfer.
+	Closing []int64
 }
 
 // Kind implements Message.
@@ -217,7 +236,7 @@ func (*Hello) Kind() Kind { return KindHello }
 
 // WireSize implements Message.
 func (h *Hello) WireSize() int64 {
-	return headerSize + 48 + 8*int64(len(h.MoveACKs)+len(h.Degraded))
+	return headerSize + 48 + 8*int64(len(h.MoveACKs)+len(h.Degraded)+len(h.Closing))
 }
 
 // Directive orders one partition-group movement: From yields Group to To.
@@ -509,6 +528,39 @@ func (wd *WindowDelta) WireSize() int64 {
 	return headerSize + 21 + tuple.LogicalSize*n
 }
 
+// StateChunk is one installment of an incremental state movement: a
+// consecutive, per-stream slice of the moving partition-group's window
+// snapshot, identified by the movement it belongs to and its position in the
+// installment sequence (Seq, starting at 0). The supplier streams exactly one
+// installment per distribution epoch while it keeps processing the group;
+// the closing installment is an ordinary StateTransfer whose windows carry
+// only the catch-up delta — the rows ingested after the snapshot — plus the
+// unprocessed buffer and the directory shape at cut-over. The consumer
+// reassembles snapshot + delta in sequence order, so the installed window
+// is exactly what a monolithic transfer would have carried.
+//
+// Paper correspondence: the follow-up paper ("Processing Database Joins over
+// a Shared-Nothing System of Multicore Machines", PAPERS.md) overlaps the
+// communication of join state with computation instead of serializing them;
+// StateChunk is that overlap applied to §IV-C state movement — the transfer
+// rides epochs the supplier is still processing, and only the (small)
+// catch-up delta ever sits on the cut-over barrier.
+type StateChunk struct {
+	MoveID int64
+	Group  int32
+	Seq    int32 // installment index within the movement, starting at 0
+	Window [2][]tuple.Tuple
+}
+
+// Kind implements Message.
+func (*StateChunk) Kind() Kind { return KindStateChunk }
+
+// WireSize implements Message.
+func (sc *StateChunk) WireSize() int64 {
+	n := int64(len(sc.Window[0]) + len(sc.Window[1]))
+	return headerSize + 16 + tuple.LogicalSize*n
+}
+
 // --- encoding helpers ---
 
 func appendU8(b []byte, v uint8) []byte { return append(b, v) }
@@ -689,6 +741,10 @@ func (h *Hello) appendTo(b []byte) []byte {
 	for _, a := range h.Degraded {
 		b = appendI64(b, a)
 	}
+	b = appendU32(b, uint32(len(h.Closing)))
+	for _, a := range h.Closing {
+		b = appendI64(b, a)
+	}
 	return b
 }
 
@@ -706,6 +762,10 @@ func (h *Hello) decodeFrom(d *decoder) error {
 	n = d.sliceLen()
 	for i := 0; i < n && d.err == nil; i++ {
 		h.Degraded = append(h.Degraded, d.i64())
+	}
+	n = d.sliceLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		h.Closing = append(h.Closing, d.i64())
 	}
 	return d.err
 }
@@ -967,6 +1027,28 @@ func (wd *WindowDelta) decodeFrom(d *decoder) error {
 	wd.Runs[1] = d.tuples()
 	if d.err != nil {
 		wd.Runs[0], wd.Runs[1] = nil, nil
+	}
+	return d.err
+}
+
+func (sc *StateChunk) appendTo(b []byte) []byte {
+	b = appendI64(b, sc.MoveID)
+	b = appendI32(b, sc.Group)
+	b = appendI32(b, sc.Seq)
+	b = appendTuples(b, sc.Window[0])
+	return appendTuples(b, sc.Window[1])
+}
+
+func (sc *StateChunk) decodeFrom(d *decoder) error {
+	sc.MoveID = d.i64()
+	sc.Group = d.i32()
+	sc.Seq = d.i32()
+	// tuples() caps its preallocation at what the remaining bytes could hold,
+	// so a corrupt count cannot force a giant allocation.
+	sc.Window[0] = d.tuples()
+	sc.Window[1] = d.tuples()
+	if d.err != nil {
+		sc.Window[0], sc.Window[1] = nil, nil
 	}
 	return d.err
 }

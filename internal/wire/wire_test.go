@@ -31,6 +31,7 @@ func TestHelloRoundtrip(t *testing.T) {
 		BacklogBytes: 4096,
 		MoveACKs:     []int64{9, 10, 11},
 		Degraded:     []int64{10},
+		Closing:      []int64{12},
 	}
 	got := roundtrip(t, h).(*Hello)
 	if !reflect.DeepEqual(h, got) {
